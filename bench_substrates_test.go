@@ -1,0 +1,176 @@
+// Benchmarks for the substrate layers: the batch-system pool, the data
+// layer, the application layer, the live engine, and placement policies.
+package dynalloc_test
+
+import (
+	"context"
+
+	"sync"
+	"testing"
+	"time"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/condor"
+	"dynalloc/internal/flow"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/vine"
+	"dynalloc/internal/workflow"
+	"dynalloc/internal/wq"
+)
+
+// A day of batch-system activity for a 125-slot cluster.
+func BenchmarkCondorSchedule(b *testing.B) {
+	c := condor.DefaultCluster()
+	for i := 0; i < b.N; i++ {
+		arr := c.Schedule(uint64(i))
+		if len(arr) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// Staging cost of the data layer across a full TopEFT run worth of tasks.
+func BenchmarkDataLayer_Staging(b *testing.B) {
+	w, err := workflow.ByName("topeft", 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		layer := vine.NewLayer()
+		vine.Attach(layer, w, uint64(i))
+		for _, t := range w.Tasks {
+			layer.Stage(t.ID%30, t.ID)
+		}
+	}
+}
+
+// Placement-policy cost and robustness on the discrete-event simulator.
+func BenchmarkAblation_Placement(b *testing.B) {
+	w, err := workflow.ByName("bimodal", 0, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []sim.Placement{sim.FirstFit, sim.WorstFit, sim.BestFit} {
+		b.Run(p.String(), func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: uint64(i + 1)})
+				res, err = sim.Run(sim.Config{
+					Workflow: w,
+					Policy:   pol,
+					Pool:     opportunistic.Static{N: 10},
+					Place:    p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*res.Acc.AWE(resources.Memory), "mem-AWE%")
+		})
+	}
+}
+
+// The locality-aware data-layer simulation end to end.
+func BenchmarkDataAwareSimulation(b *testing.B) {
+	w, err := workflow.ByName("colmena", 0, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *sim.Result
+	for i := 0; i < b.N; i++ {
+		layer := vine.NewLayer()
+		vine.Attach(layer, w, uint64(i))
+		pol := allocator.MustNew(allocator.Greedy, allocator.Config{Seed: uint64(i + 1)})
+		res, err = sim.Run(sim.Config{
+			Workflow: w,
+			Policy:   pol,
+			Pool:     opportunistic.Static{N: 20},
+			Place:    sim.Locality,
+			Data:     layer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Acc.AWE(resources.Memory), "mem-AWE%")
+	b.ReportMetric(res.Makespan, "makespan-s")
+}
+
+// Application-layer dispatch overhead: tasks/second through the flow layer
+// and a local executor.
+func BenchmarkFlow_LocalExecutor(b *testing.B) {
+	pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: 1})
+	f := flow.New(&flow.LocalExecutor{Policy: pol})
+	task := workflow.Task{
+		Category:    "bench",
+		Consumption: resources.New(1, 400, 100, 10),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Submit("bench", task).Wait()
+	}
+}
+
+// Live engine throughput: 200 tasks through a loopback manager with four
+// workers per iteration.
+func BenchmarkLiveEngine_Loopback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		w := &workflow.Workflow{Name: "bench"}
+		for id := 1; id <= 200; id++ {
+			w.Tasks = append(w.Tasks, workflow.Task{
+				ID:          id,
+				Category:    "bench",
+				Consumption: resources.New(0.5, 200+float64(id%7)*50, 50, 2),
+			})
+		}
+		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: uint64(i + 1)})
+		m := wq.NewManager(pol)
+		addr, err := m.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = wq.RunWorker(ctx, addr, wq.WorkerConfig{TimeScale: 1e-5})
+			}()
+		}
+		res, err := m.RunWorkflow(ctx, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Outcomes) != 200 {
+			b.Fatalf("%d outcomes", len(res.Outcomes))
+		}
+		m.Close()
+		wg.Wait()
+		cancel()
+	}
+}
+
+// Perturbed-rerun stability (the prior-free goal) as a measurable series.
+func BenchmarkPerturbedRerun(b *testing.B) {
+	base, err := workflow.Synthetic("bimodal", 0, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var awe float64
+	for i := 0; i < b.N; i++ {
+		p := workflow.Perturb(base, workflow.Perturbation{
+			Scale:  resources.New(1, 1.3, 1, 1),
+			Jitter: 0.05,
+		}, uint64(i+1))
+		pol := allocator.MustNew(allocator.Greedy, allocator.Config{Seed: uint64(i + 1)})
+		res, err := sim.RunSequential(p, pol, sim.RampEarly, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		awe = res.Acc.AWE(resources.Memory)
+	}
+	b.ReportMetric(100*awe, "mem-AWE%")
+}

@@ -1,0 +1,61 @@
+// Command ablate runs the design-choice ablation suite: consumption
+// profile, exploration threshold, bucket cap, category isolation,
+// significance weighting, and placement robustness. The measured tables
+// back the Ablations section of EXPERIMENTS.md.
+//
+//	ablate                # everything
+//	ablate -only category # one ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynalloc/internal/harness"
+	"dynalloc/internal/report"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 42, "random seed")
+		tasks = flag.Int("tasks", 0, "synthetic task count (0 = paper's 1000)")
+		only  = flag.String("only", "", "run one ablation: model, exploration, buckets, category, significance, placement")
+	)
+	flag.Parse()
+
+	type ablation struct {
+		name string
+		run  func() (*report.Table, error)
+	}
+	suite := []ablation{
+		{"model", func() (*report.Table, error) { return harness.AblateConsumptionModel(*seed, "normal", *tasks) }},
+		{"exploration", func() (*report.Table, error) { return harness.AblateExploration(*seed, "bimodal", *tasks, nil) }},
+		{"buckets", func() (*report.Table, error) { return harness.AblateMaxBuckets(*seed, "trimodal", *tasks, nil) }},
+		{"category", func() (*report.Table, error) { return harness.AblateCategoryIsolation(*seed) }},
+		{"significance", func() (*report.Table, error) { return harness.AblateSignificance(*seed, "trimodal", *tasks) }},
+		{"placement", func() (*report.Table, error) { return harness.AblatePlacement(*seed, "bimodal", *tasks) }},
+	}
+
+	ran := false
+	for _, a := range suite {
+		if *only != "" && *only != a.name {
+			continue
+		}
+		tab, err := a.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablate: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ablate:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ablate: unknown ablation %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,69 @@
+// Command analyze recomputes the paper's metrics from saved run logs
+// (written by vinesim -log) without re-running the simulation, and compares
+// several logs side by side.
+//
+//	vinesim -workflow topeft -algorithm exhaustive-bucketing -log eb.jsonl
+//	vinesim -workflow topeft -algorithm max-seen -log ms.jsonl
+//	analyze eb.jsonl ms.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dynalloc/internal/report"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/runlog"
+)
+
+func main() {
+	perCategory := flag.Bool("by-category", false, "break metrics down per task category")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [-by-category] <runlog.jsonl>...")
+		os.Exit(2)
+	}
+
+	tab := report.New("Run log analysis",
+		"log", "workload", "algorithm", "tasks", "retries",
+		"cores AWE", "memory AWE", "disk AWE")
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		fatalIf(err)
+		log, err := runlog.Read(f)
+		f.Close()
+		fatalIf(err)
+		acc := runlog.Replay(log)
+		tab.AddRow(path, log.Header.Workload, log.Header.Algorithm,
+			acc.Tasks(), acc.Retries(),
+			report.Percent(acc.AWE(resources.Cores)),
+			report.Percent(acc.AWE(resources.Memory)),
+			report.Percent(acc.AWE(resources.Disk)))
+
+		if *perCategory {
+			byCat := runlog.ReplayByCategory(log)
+			cats := make([]string, 0, len(byCat))
+			for cat := range byCat {
+				cats = append(cats, cat)
+			}
+			sort.Strings(cats)
+			for _, cat := range cats {
+				acc := byCat[cat]
+				tab.AddRow("  - "+cat, "", "", acc.Tasks(), acc.Retries(),
+					report.Percent(acc.AWE(resources.Cores)),
+					report.Percent(acc.AWE(resources.Memory)),
+					report.Percent(acc.AWE(resources.Disk)))
+			}
+		}
+	}
+	fatalIf(tab.Render(os.Stdout))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}

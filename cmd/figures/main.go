@@ -1,0 +1,215 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	figures -fig 2              # ColmenaXTB/TopEFT consumption series (CSV)
+//	figures -fig 3              # Greedy/Exhaustive bucketing worked example
+//	figures -fig 4              # synthetic workflow memory series (CSV)
+//	figures -fig 5              # AWE grid, 7 workflows x 7 algorithms
+//	figures -fig 6              # waste decomposition grid
+//	figures -table 1            # bucketing-state computation cost
+//	figures -all                # everything (CSV series written to -outdir)
+//
+// Figure 5/6 runs use the fast sequential driver by default; pass -des to
+// run the full discrete-event simulation on the paper's 20-to-50-worker
+// opportunistic pool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/harness"
+	"dynalloc/internal/plot"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (2-6)")
+		table    = flag.Int("table", 0, "table to regenerate (1)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		tasks    = flag.Int("tasks", 0, "synthetic task count (0 = paper's 1000)")
+		useDES   = flag.Bool("des", false, "use the discrete-event pool simulation for figures 5/6")
+		model    = flag.String("model", sim.RampEarly.String(), "consumption model for figures 5/6")
+		extended = flag.Bool("extended", false, "include the extension algorithms (k-means, percentile) in figures 5/6")
+		asPlot   = flag.Bool("plot", false, "render terminal graphics (bar charts for figure 5, scatter strips for figures 2/4) instead of tables/CSV only")
+		outdir   = flag.String("outdir", "figures-out", "directory for CSV series (figures 2 and 4)")
+		reps     = flag.Int("reps", 10, "measurement repetitions for table 1")
+		seeds    = flag.Int("seeds", 1, "replicate figures 5/6 across this many seeds and report mean ± sd")
+	)
+	flag.Parse()
+
+	cm, err := sim.ParseConsumptionModel(*model)
+	fatalIf(err)
+	opts := harness.Options{Seed: *seed, Tasks: *tasks, UseDES: *useDES, Model: cm}
+	if *extended {
+		opts.Algorithms = allocator.ExtendedNames()
+	}
+
+	ran := false
+	run := func(n int, sel *int, f func()) {
+		if *all || *sel == n {
+			f()
+			ran = true
+		}
+	}
+	run(2, fig, func() { fig2(*seed, *outdir, *asPlot) })
+	run(3, fig, func() { fig3(*seed) })
+	run(4, fig, func() { fig4(*seed, *tasks, *outdir, *asPlot) })
+	run(5, fig, func() {
+		if *seeds > 1 {
+			fig5Replicated(opts, *seeds)
+		} else {
+			fig56(opts, true, *asPlot)
+		}
+	})
+	run(6, fig, func() { fig56(opts, false, false) })
+	run(1, table, func() { table1(*seed, *reps) })
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fig2(seed uint64, outdir string, asPlot bool) {
+	series := harness.Fig2Series(seed)
+	writeSeries(outdir, "fig2", series)
+	if asPlot {
+		plotSeries(series)
+	}
+}
+
+func fig3(seed uint64) {
+	fatalIf(harness.Fig3Example(seed, 2000).Render(os.Stdout))
+	fmt.Println()
+}
+
+func fig4(seed uint64, tasks int, outdir string, asPlot bool) {
+	series, err := harness.Fig4Series(seed, tasks)
+	fatalIf(err)
+	writeSeries(outdir, "fig4", series)
+	if asPlot {
+		plotSeries(series)
+	}
+}
+
+// plotSeries renders the memory column of each series as a scatter strip.
+func plotSeries(series map[string][]trace.TaskPoint) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		values := make([]float64, len(series[name]))
+		for i, p := range series[name] {
+			values[i] = p.MemoryMB
+		}
+		fatalIf(plot.Strip{
+			Title:  fmt.Sprintf("%s — memory consumption (MB) by task order", name),
+			Values: values,
+		}.Render(os.Stdout))
+		fmt.Println()
+	}
+}
+
+func writeSeries(outdir, prefix string, series map[string][]trace.TaskPoint) {
+	fatalIf(os.MkdirAll(outdir, 0o755))
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(outdir, fmt.Sprintf("%s_%s.csv", prefix, name))
+		f, err := os.Create(path)
+		fatalIf(err)
+		fatalIf(harness.WriteSeriesCSV(f, series[name]))
+		fatalIf(f.Close())
+		fmt.Printf("wrote %s (%d tasks)\n", path, len(series[name]))
+	}
+}
+
+// fig56 runs the shared grid and renders Figure 5 (AWE) or Figure 6
+// (waste).
+func fig56(opts harness.Options, five bool, asPlot bool) {
+	cells, err := harness.RunGrid(opts)
+	fatalIf(err)
+	if five {
+		for _, tab := range harness.Fig5Tables(cells, opts) {
+			fatalIf(tab.Render(os.Stdout))
+			fmt.Println()
+		}
+		if asPlot {
+			plotFig5(cells)
+		}
+	} else {
+		for _, tab := range harness.Fig6Tables(cells, opts) {
+			fatalIf(tab.Render(os.Stdout))
+			fmt.Println()
+		}
+	}
+}
+
+// fig5Replicated runs the Figure 5 grid across several seeds and reports
+// mean ± standard deviation per cell.
+func fig5Replicated(opts harness.Options, seeds int) {
+	cells, err := harness.RunGridReplicated(opts, seeds)
+	fatalIf(err)
+	for _, k := range resources.AllocatedKinds() {
+		fatalIf(harness.ReplicatedTable(cells, opts, k, seeds).Render(os.Stdout))
+		fmt.Println()
+	}
+}
+
+func table1(seed uint64, reps int) {
+	rows := harness.Table1(seed, reps)
+	fatalIf(harness.Table1Report(rows).Render(os.Stdout))
+	fmt.Println()
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// plotFig5 renders one bar chart per (resource kind, workload) cell group.
+func plotFig5(cells []harness.Cell) {
+	var workloads []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			workloads = append(workloads, c.Workload)
+		}
+	}
+	for _, k := range resources.AllocatedKinds() {
+		for _, wf := range workloads {
+			chart := plot.BarChart{
+				Title: fmt.Sprintf("%s AWE — %s", k, wf),
+				Max:   100,
+				Unit:  "%",
+			}
+			for _, c := range cells {
+				if c.Workload != wf {
+					continue
+				}
+				chart.Bars = append(chart.Bars, plot.Bar{
+					Label: string(c.Algorithm),
+					Value: 100 * c.AWE(k),
+				})
+			}
+			fatalIf(chart.Render(os.Stdout))
+			fmt.Println()
+		}
+	}
+}

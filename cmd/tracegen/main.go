@@ -1,0 +1,55 @@
+// Command tracegen generates an evaluation workload and writes it as a JSON
+// trace (replayable with vinesim -workflow-file) or as a CSV consumption
+// series.
+//
+//	tracegen -workflow topeft -o topeft.json
+//	tracegen -workflow trimodal -tasks 5000 -csv -o trimodal.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynalloc/internal/trace"
+	"dynalloc/internal/workflow"
+)
+
+func main() {
+	var (
+		wfName = flag.String("workflow", "normal", "workload: "+strings.Join(workflow.Names(), ", "))
+		tasks  = flag.Int("tasks", 0, "synthetic task count (0 = paper's 1000)")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		asCSV  = flag.Bool("csv", false, "write a CSV consumption series instead of a JSON trace")
+	)
+	flag.Parse()
+
+	w, err := workflow.ByName(*wfName, *tasks, *seed)
+	fatalIf(err)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer func() { fatalIf(f.Close()) }()
+		dst = f
+	}
+	if *asCSV {
+		fatalIf(trace.WriteCSV(dst, trace.Points(w)))
+	} else {
+		fatalIf(trace.WriteWorkflow(dst, w))
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d tasks, %d categories)\n",
+			*out, w.Len(), len(w.Categories()))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,195 @@
+// Command vinesim runs one workload under one allocation algorithm and
+// reports the paper's metrics: per-resource Absolute Workflow Efficiency,
+// waste decomposition, and attempt/retry counts.
+//
+// Usage:
+//
+//	vinesim -workflow topeft -algorithm exhaustive-bucketing
+//	vinesim -workflow normal -tasks 5000 -algorithm max-seen -des -pool backfill:20:50:120
+//	vinesim -workflow-file trace.json -algorithm greedy-bucketing -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/condor"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/report"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/runlog"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/trace"
+	"dynalloc/internal/vine"
+	"dynalloc/internal/workflow"
+)
+
+func main() {
+	var (
+		wfName   = flag.String("workflow", "normal", "workload: "+strings.Join(workflow.Names(), ", "))
+		wfFile   = flag.String("workflow-file", "", "load the workload from a JSON trace instead of generating it")
+		algName  = flag.String("algorithm", string(allocator.Exhaustive), "allocation algorithm")
+		tasks    = flag.Int("tasks", 0, "synthetic task count (0 = paper's 1000)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		model    = flag.String("model", sim.RampEarly.String(), "consumption model: ramp-early, ramp-linear, peak-at-end, peak-immediate")
+		useDES   = flag.Bool("des", false, "run the discrete-event pool simulation instead of the sequential driver")
+		poolSpec = flag.String("pool", "paper", "pool for -des: paper, static:N, backfill:MIN:MAX:INTERVAL, churn:N:LIFE:INTERVAL:HORIZON, condor:SLOTS:LOAD:PILOTS")
+		jsonOut  = flag.Bool("json", false, "emit the summary as JSON")
+		oracle   = flag.Bool("oracle", false, "use the oracle policy instead of -algorithm")
+		logPath  = flag.String("log", "", "write a replayable run log (JSON lines) to this file")
+		place    = flag.String("placement", sim.FirstFit.String(), "worker placement for -des: first-fit, worst-fit, best-fit, locality")
+		withData = flag.Bool("data", false, "enable the TaskVine-style data layer (file staging and caches) for -des")
+	)
+	flag.Parse()
+
+	w, err := loadWorkflow(*wfFile, *wfName, *tasks, *seed)
+	fatalIf(err)
+	cm, err := sim.ParseConsumptionModel(*model)
+	fatalIf(err)
+
+	var policy allocator.Policy
+	if *oracle {
+		policy = sim.NewOracle(w)
+	} else {
+		alg, err := allocator.ParseName(*algName)
+		fatalIf(err)
+		policy, err = allocator.New(alg, allocator.Config{Seed: *seed})
+		fatalIf(err)
+	}
+
+	var res *sim.Result
+	if *useDES {
+		pool, err := parsePool(*poolSpec)
+		fatalIf(err)
+		placement, err := sim.ParsePlacement(*place)
+		fatalIf(err)
+		var layer *vine.Layer
+		if *withData {
+			layer = vine.NewLayer()
+			vine.Attach(layer, w, *seed)
+		}
+		res, err = sim.Run(sim.Config{
+			Workflow: w, Policy: policy, Pool: pool, PoolSeed: *seed, Model: cm,
+			Place: placement, Data: layer,
+		})
+		fatalIf(err)
+	} else {
+		res, err = sim.RunSequential(w, policy, cm, 0)
+		fatalIf(err)
+	}
+
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		fatalIf(err)
+		fatalIf(runlog.Write(f, runlog.Header{
+			Workload:  w.Name,
+			Algorithm: policy.Name(),
+			Seed:      *seed,
+		}, res))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote run log %s\n", *logPath)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(res.Summary()))
+		return
+	}
+	s := res.Summary()
+	fmt.Printf("workload=%s algorithm=%s tasks=%d attempts=%d retries=%d evictions=%d\n",
+		w.Name, policy.Name(), s.Tasks, s.Attempts, s.Retries, s.Evictions)
+	if *useDES {
+		fmt.Printf("makespan=%.1fs peak-workers=%d\n", res.Makespan, res.PeakWorkers)
+	}
+	tab := report.New("", "resource", "AWE", "consumption", "allocation", "internal_frag", "failed_alloc")
+	for _, ks := range s.PerKind {
+		tab.AddRow(ks.Kind, report.Percent(ks.AWE),
+			fmt.Sprintf("%.4g", ks.Consumption), fmt.Sprintf("%.4g", ks.Allocation),
+			fmt.Sprintf("%.4g", ks.InternalFragmentation), fmt.Sprintf("%.4g", ks.FailedAllocation))
+	}
+	fatalIf(tab.Render(os.Stdout))
+}
+
+func loadWorkflow(file, name string, tasks int, seed uint64) (*workflow.Workflow, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		w, err := trace.ReadWorkflow(f)
+		if err != nil {
+			return nil, err
+		}
+		return w, w.Validate(resources.PaperWorker())
+	}
+	return workflow.ByName(name, tasks, seed)
+}
+
+func parsePool(spec string) (opportunistic.Model, error) {
+	parts := strings.Split(spec, ":")
+	nums := func(want int) ([]float64, error) {
+		if len(parts) != want+1 {
+			return nil, fmt.Errorf("pool spec %q needs %d parameters", spec, want)
+		}
+		out := make([]float64, want)
+		for i := range out {
+			v, err := strconv.ParseFloat(parts[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("pool spec %q: %w", spec, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch parts[0] {
+	case "paper":
+		return opportunistic.PaperPool(), nil
+	case "static":
+		v, err := nums(1)
+		if err != nil {
+			return nil, err
+		}
+		return opportunistic.Static{N: int(v[0])}, nil
+	case "backfill":
+		v, err := nums(3)
+		if err != nil {
+			return nil, err
+		}
+		return opportunistic.Backfill{Min: int(v[0]), Max: int(v[1]), Interval: v[2]}, nil
+	case "churn":
+		v, err := nums(4)
+		if err != nil {
+			return nil, err
+		}
+		return opportunistic.Churn{
+			Initial: int(v[0]), MeanLifetime: v[1], MeanInterval: v[2], Horizon: v[3],
+			KeepLastAlive: true,
+		}, nil
+	case "condor":
+		v, err := nums(3)
+		if err != nil {
+			return nil, err
+		}
+		c := condor.DefaultCluster()
+		c.Slots = int(v[0])
+		c.PrimaryLoad = v[1]
+		c.PilotTarget = int(v[2])
+		return c, nil
+	default:
+		return nil, fmt.Errorf("unknown pool model %q", parts[0])
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vinesim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+// Command wq-manager runs the live Work Queue-style manager: it listens for
+// workers, executes a workload with the chosen allocation algorithm, and
+// prints the same efficiency report as vinesim.
+//
+// Start a manager, then one or more wq-worker processes:
+//
+//	wq-manager -addr 127.0.0.1:9123 -workflow bimodal -tasks 200 &
+//	wq-worker  -addr 127.0.0.1:9123 &
+//	wq-worker  -addr 127.0.0.1:9123 &
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/report"
+	"dynalloc/internal/workflow"
+	"dynalloc/internal/wq"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9123", "listen address")
+		wfName  = flag.String("workflow", "normal", "workload: "+strings.Join(workflow.Names(), ", "))
+		algName = flag.String("algorithm", string(allocator.Exhaustive), "allocation algorithm")
+		tasks   = flag.Int("tasks", 200, "synthetic task count")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		timeout = flag.Duration("timeout", 10*time.Minute, "overall run deadline")
+		minW    = flag.Int("min-workers", 1, "wait for this many workers before submitting")
+	)
+	flag.Parse()
+
+	w, err := workflow.ByName(*wfName, *tasks, *seed)
+	fatalIf(err)
+	alg, err := allocator.ParseName(*algName)
+	fatalIf(err)
+	policy, err := allocator.New(alg, allocator.Config{Seed: *seed})
+	fatalIf(err)
+
+	m := wq.NewManager(policy)
+	bound, err := m.Listen(*addr)
+	fatalIf(err)
+	defer m.Close()
+	fmt.Printf("manager listening on %s; waiting for %d worker(s)\n", bound, *minW)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	for m.Workers() < *minW {
+		select {
+		case <-ctx.Done():
+			fatalIf(fmt.Errorf("timed out waiting for workers"))
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	start := time.Now()
+	res, err := m.RunWorkflow(ctx, w)
+	fatalIf(err)
+	s := res.Summary()
+	fmt.Printf("completed %d tasks in %s: attempts=%d retries=%d evictions=%d workers(peak)=%d\n",
+		s.Tasks, time.Since(start).Round(time.Millisecond), s.Attempts, s.Retries, s.Evictions, res.PeakWorkers)
+	tab := report.New("", "resource", "AWE", "internal_frag", "failed_alloc")
+	for _, ks := range s.PerKind {
+		tab.AddRow(ks.Kind, report.Percent(ks.AWE),
+			fmt.Sprintf("%.4g", ks.InternalFragmentation), fmt.Sprintf("%.4g", ks.FailedAllocation))
+	}
+	fatalIf(tab.Render(os.Stdout))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wq-manager:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+// Command wq-worker runs one live worker: it connects to a wq-manager,
+// advertises its capacity, and executes tasks under a virtual resource
+// monitor until the manager shuts it down.
+//
+//	wq-worker -addr 127.0.0.1:9123 -cores 16 -memory 65536 -disk 65536
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"dynalloc/internal/resources"
+	"dynalloc/internal/wq"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9123", "manager address")
+		cores     = flag.Float64("cores", 16, "advertised cores")
+		memory    = flag.Float64("memory", 64*1024, "advertised memory (MB)")
+		disk      = flag.Float64("disk", 64*1024, "advertised disk (MB)")
+		timeScale = flag.Float64("timescale", 1e-3, "wall seconds per simulated task second")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := wq.WorkerConfig{
+		Capacity:  resources.New(*cores, *memory, *disk, resources.Unlimited),
+		TimeScale: *timeScale,
+	}
+	fmt.Printf("worker connecting to %s (%v cores, %v MB memory, %v MB disk)\n",
+		*addr, *cores, *memory, *disk)
+	if err := wq.RunWorker(ctx, *addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "wq-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Println("worker shut down")
+}

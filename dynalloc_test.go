@@ -1,0 +1,172 @@
+package dynalloc_test
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	w, err := dynalloc.GenerateWorkflow("bimodal", 80, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := dynalloc.NewAllocator(dynalloc.ExhaustiveBucketing, dynalloc.AllocatorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynalloc.Simulate(dynalloc.SimConfig{
+		Workflow: w,
+		Policy:   alloc,
+		Pool:     dynalloc.StaticPool(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []dynalloc.Kind{dynalloc.Cores, dynalloc.Memory, dynalloc.Disk} {
+		awe := res.Acc.AWE(k)
+		if awe <= 0 || awe > 1 {
+			t.Errorf("AWE(%s) = %v", k, awe)
+		}
+	}
+}
+
+func TestPublicAPISequentialAndOracle(t *testing.T) {
+	w, err := dynalloc.GenerateWorkflow("normal", 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynalloc.SimulateSequential(w, dynalloc.NewOracle(w), dynalloc.RampEarly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awe := res.Acc.AWE(dynalloc.Memory); math.Abs(awe-1) > 1e-9 {
+		t.Errorf("oracle AWE = %v", awe)
+	}
+}
+
+func TestPublicAPINames(t *testing.T) {
+	if len(dynalloc.AlgorithmNames()) != 7 {
+		t.Error("expected 7 algorithms")
+	}
+	if len(dynalloc.WorkflowNames()) != 7 {
+		t.Error("expected 7 workloads")
+	}
+	v := dynalloc.NewVector(1, 2, 3, 4)
+	if v.Get(dynalloc.Disk) != 3 {
+		t.Error("vector accessor broken")
+	}
+	if dynalloc.PaperWorker().Get(dynalloc.Cores) != 16 {
+		t.Error("paper worker shape")
+	}
+}
+
+func TestPublicAPIPools(t *testing.T) {
+	for _, pool := range []dynalloc.PoolModel{
+		dynalloc.StaticPool(5),
+		dynalloc.BackfillPool(2, 6, 30),
+		dynalloc.ChurnPool(3, 600, 300, 3600),
+	} {
+		if len(pool.Schedule(1)) == 0 {
+			t.Errorf("pool %s produced no workers", pool.Name())
+		}
+	}
+}
+
+// TestLargeWorkflowConvergence checks the paper's future-work hypothesis
+// (Section VII): the bucketing algorithms should perform at least as well on
+// much larger workflows, since they converge to a steady state within a few
+// thousand tasks.
+func TestLargeWorkflowConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large workflow test skipped in -short mode")
+	}
+	aweAt := func(n int) float64 {
+		w, err := dynalloc.GenerateWorkflow("bimodal", n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := dynalloc.NewAllocator(dynalloc.ExhaustiveBucketing, dynalloc.AllocatorConfig{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dynalloc.SimulateSequential(w, pol, dynalloc.RampEarly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Acc.AWE(dynalloc.Memory)
+	}
+	small := aweAt(1000)
+	large := aweAt(12000)
+	if large < small-0.05 {
+		t.Errorf("12000-task AWE %.3f fell more than 5%% below 1000-task AWE %.3f", large, small)
+	}
+}
+
+func TestPublicAPIFlowAndData(t *testing.T) {
+	alloc, err := dynalloc.NewAllocator(dynalloc.GreedyBucketing, dynalloc.AllocatorConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dynalloc.NewFlow(dynalloc.NewLocalExecutor(alloc, dynalloc.RampEarly))
+	for i := 0; i < 15; i++ {
+		f.Submit("api", dynalloc.Task{Consumption: dynalloc.NewVector(1, 300, 50, 10)})
+	}
+	if got := len(f.WaitAll()); got != 15 {
+		t.Fatalf("outcomes = %d", got)
+	}
+	if f.Metrics().AWE(dynalloc.Memory) <= 0 {
+		t.Error("flow metrics empty")
+	}
+
+	w, err := dynalloc.GenerateWorkflow("colmena", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := dynalloc.NewDataLayer()
+	dynalloc.AttachData(layer, w, 5)
+	if layer.InputMB(1) <= 0 {
+		t.Error("data layer empty after AttachData")
+	}
+	res, err := dynalloc.Simulate(dynalloc.SimConfig{
+		Workflow: w,
+		Policy:   dynalloc.NewOracle(w),
+		Pool:     dynalloc.CondorPool(60, 0.3, 20),
+		Place:    dynalloc.PlaceLocality,
+		Data:     layer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != w.Len() {
+		t.Fatalf("completed %d tasks", len(res.Outcomes))
+	}
+
+	p := dynalloc.PerturbWorkflow(w, dynalloc.Perturbation{Jitter: 0.05}, 6)
+	if p.Len() != w.Len() {
+		t.Error("perturbation changed task count")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	opts := dynalloc.ExperimentOptions{
+		Seed:       1,
+		Tasks:      40,
+		Workloads:  []string{"uniform"},
+		Algorithms: []dynalloc.AlgorithmName{dynalloc.MaxSeen, dynalloc.GreedyBucketing},
+	}
+	cells, err := dynalloc.ReproduceGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	if len(dynalloc.Figure5(cells, opts)) != 3 {
+		t.Error("Figure5 should emit one table per kind")
+	}
+	if len(dynalloc.Figure6(cells, opts)) != 3 {
+		t.Error("Figure6 should emit one table per kind")
+	}
+}

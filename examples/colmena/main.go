@@ -1,0 +1,81 @@
+// ColmenaXTB: a two-phase molecular-design campaign on an opportunistic
+// pool (the paper's Section III case study).
+//
+// Phase 1 ranks candidate molecules with 228 memory-hungry neural-network
+// inference tasks (evaluate_mpnn, 1.0-1.2 GB each); phase 2 computes
+// atomization energies for the 1000 top-ranked molecules with small,
+// core-hungry tasks (~200 MB but 0.9-3.6 cores). The phase change happens
+// at runtime — the "arbitrary structure of workflows" stochasticity the
+// bucketing algorithms are designed to survive.
+//
+// The example demonstrates two of the paper's observations:
+//
+//  1. Different task categories must be allocated independently
+//     (Section III-B): pooling every category into one estimator state
+//     makes phase-1's 1.2 GB records inflate phase-2's 200 MB tasks.
+//  2. Bucketing allocators beat Max Seen on this workload because Max Seen
+//     can only ever allocate the running maximum.
+//
+// The pool ramps from 20 to 50 workers as the batch system backfills,
+// matching the paper's HTCondor deployment.
+//
+// Run with:
+//
+//	go run ./examples/colmena
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynalloc"
+)
+
+func main() {
+	w, err := dynalloc.GenerateWorkflow("colmena", 0, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := w.CategoryCounts()
+	fmt.Printf("ColmenaXTB: %d evaluate_mpnn + %d compute_atomization_energy tasks\n\n",
+		counts["evaluate_mpnn"], counts["compute_atomization_energy"])
+
+	type variant struct {
+		label string
+		alg   dynalloc.AlgorithmName
+		cfg   dynalloc.AllocatorConfig
+	}
+	variants := []variant{
+		{"max-seen", dynalloc.MaxSeen, dynalloc.AllocatorConfig{Seed: 1}},
+		{"exhaustive (per-category)", dynalloc.ExhaustiveBucketing, dynalloc.AllocatorConfig{Seed: 1}},
+		{"exhaustive (category-blind)", dynalloc.ExhaustiveBucketing, dynalloc.AllocatorConfig{Seed: 1, IgnoreCategories: true}},
+		{"greedy (per-category)", dynalloc.GreedyBucketing, dynalloc.AllocatorConfig{Seed: 1}},
+	}
+
+	fmt.Printf("%-28s %10s %10s %8s %10s\n", "policy", "memory AWE", "cores AWE", "retries", "makespan")
+	for _, v := range variants {
+		policy, err := dynalloc.NewAllocator(v.alg, v.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dynalloc.Simulate(dynalloc.SimConfig{
+			Workflow: w,
+			Policy:   policy,
+			Pool:     dynalloc.BackfillPool(20, 50, 120),
+			PoolSeed: 9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9.1f%% %9.1f%% %8d %9.0fs\n",
+			v.label,
+			100*res.Acc.AWE(dynalloc.Memory),
+			100*res.Acc.AWE(dynalloc.Cores),
+			res.Acc.Retries(),
+			res.Makespan)
+	}
+
+	fmt.Println("\nPer-category bucketing adapts to the phase change within a few")
+	fmt.Println("tasks; the category-blind variant drags phase-1's gigabyte-scale")
+	fmt.Println("records into phase 2 and pays for it on every small task.")
+}

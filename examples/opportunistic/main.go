@@ -1,0 +1,69 @@
+// Opportunistic churn: running a workflow on a volatile worker pool where
+// workers hold short leases and are evicted mid-task (spot instances,
+// preemptible backfill slots — the deployment mode the paper's title is
+// about).
+//
+// The example shows two properties of the system:
+//
+//   - the manager survives evictions: interrupted tasks are requeued with
+//     their allocations intact and the workflow still completes;
+//   - the AWE metric is independent of the pool (Section II-C): the same
+//     allocator scores nearly the same efficiency on a stable pool and on
+//     a churning pool, even though the makespan and attempt counts differ.
+//
+// Run with:
+//
+//	go run ./examples/opportunistic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynalloc"
+)
+
+func main() {
+	w, err := dynalloc.GenerateWorkflow("trimodal", 600, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pools := []struct {
+		label string
+		pool  dynalloc.PoolModel
+	}{
+		{"stable (20 permanent workers)", dynalloc.StaticPool(20)},
+		{"backfill ramp (20 -> 50)", dynalloc.BackfillPool(20, 50, 120)},
+		{"churn (30 min leases)", dynalloc.ChurnPool(20, 1800, 120, 1e6)},
+	}
+
+	fmt.Printf("%-32s %10s %9s %9s %10s %10s\n",
+		"pool", "memory AWE", "retries", "evictions", "makespan", "peak wkrs")
+	for _, p := range pools {
+		policy, err := dynalloc.NewAllocator(dynalloc.GreedyBucketing, dynalloc.AllocatorConfig{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dynalloc.Simulate(dynalloc.SimConfig{
+			Workflow: w,
+			Policy:   policy,
+			Pool:     p.pool,
+			PoolSeed: 13,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s %9.1f%% %9d %9d %9.0fs %10d\n",
+			p.label,
+			100*res.Acc.AWE(dynalloc.Memory),
+			res.Acc.Retries(),
+			res.Evictions,
+			res.Makespan,
+			res.PeakWorkers)
+	}
+
+	fmt.Println("\nEvictions interrupt tasks and stretch the makespan, but the")
+	fmt.Println("allocator's efficiency barely moves: AWE measures allocation")
+	fmt.Println("quality, not infrastructure luck.")
+}

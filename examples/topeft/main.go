@@ -1,0 +1,63 @@
+// TopEFT: a high-energy-physics analysis workflow (the paper's second
+// Section III case study) — 363 preprocessing tasks, then 3994 processing
+// tasks interleaved with 212 accumulating tasks, 4569 tasks total.
+//
+// Its signatures stress different parts of an allocator:
+//
+//   - processing memory is bimodal (~450 MB and ~580 MB clusters), which is
+//     exactly what the bucketing algorithms' cluster detection exploits;
+//   - disk is a constant 306 MB, so a good allocator should approach 100%
+//     disk efficiency while Max Seen's 250 MB histogram rounds every
+//     allocation up to 500 MB (the paper's Section V-C example);
+//   - cores are mostly <= 1 with rare outliers up to 3, the paper's
+//     "inherent stochasticity of tasks".
+//
+// Run with:
+//
+//	go run ./examples/topeft
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynalloc"
+)
+
+func main() {
+	w, err := dynalloc.GenerateWorkflow("topeft", 0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := w.CategoryCounts()
+	fmt.Printf("TopEFT: %d preprocessing + %d processing + %d accumulating tasks\n\n",
+		counts["preprocessing"], counts["processing"], counts["accumulating"])
+
+	for _, alg := range []dynalloc.AlgorithmName{
+		dynalloc.MaxSeen,
+		dynalloc.MinWaste,
+		dynalloc.QuantizedBucketing,
+		dynalloc.ExhaustiveBucketing,
+	} {
+		policy, err := dynalloc.NewAllocator(alg, dynalloc.AllocatorConfig{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The sequential driver: AWE is pool-independent, and TopEFT is
+		// the largest workload (4569 tasks), so skip pool placement.
+		res, err := dynalloc.SimulateSequential(w, policy, dynalloc.RampEarly)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s disk AWE %5.1f%%  memory AWE %5.1f%%  cores AWE %5.1f%%  retries %4d\n",
+			alg,
+			100*res.Acc.AWE(dynalloc.Disk),
+			100*res.Acc.AWE(dynalloc.Memory),
+			100*res.Acc.AWE(dynalloc.Cores),
+			res.Acc.Retries())
+	}
+
+	fmt.Println("\nEvery task writes exactly 306 MB of disk: Exhaustive Bucketing's")
+	fmt.Println("representative converges on 306 MB (disk AWE near 100%), while Max")
+	fmt.Println("Seen's 250 MB histogram rounds to 500 MB and caps out near 61%.")
+}

@@ -1,0 +1,130 @@
+package dynalloc_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/condor"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/runlog"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/trace"
+	"dynalloc/internal/vine"
+	"dynalloc/internal/workflow"
+)
+
+// TestFullStackScenario exercises the whole system end to end, the way the
+// paper's deployment composed it: a production-shaped workload is generated
+// and serialized; replayed byte-identically from its trace; executed by an
+// adaptive allocator on a simulated HTCondor pool with the data layer and
+// locality placement; and the resulting run log replays to the same
+// metrics.
+func TestFullStackScenario(t *testing.T) {
+	// 1. Generate and serialize the workload.
+	original := workflow.ColmenaXTB(99)
+	var traceBuf bytes.Buffer
+	if err := trace.WriteWorkflow(&traceBuf, original); err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.ReadWorkflow(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != original.Len() || len(w.Barriers) != 1 {
+		t.Fatalf("trace round trip lost structure: %d tasks, %v barriers", w.Len(), w.Barriers)
+	}
+
+	// 2. Execute on a batch-system pool with the data layer.
+	layer := vine.NewLayer()
+	vine.Attach(layer, w, 100)
+	pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: 101})
+	cluster := condor.Cluster{
+		Slots: 60, PrimaryLoad: 0.4, PrimaryMeanDuration: 2400,
+		PilotTarget: 25, SubmitDelay: 20, Horizon: 1e7,
+	}
+	res, err := sim.Run(sim.Config{
+		Workflow: w,
+		Policy:   pol,
+		Pool:     cluster,
+		PoolSeed: 102,
+		Place:    sim.Locality,
+		Data:     layer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != w.Len() {
+		t.Fatalf("completed %d of %d tasks", len(res.Outcomes), w.Len())
+	}
+	for _, k := range resources.AllocatedKinds() {
+		awe := res.Acc.AWE(k)
+		if awe <= 0 || awe > 1 {
+			t.Errorf("AWE(%s) = %v", k, awe)
+		}
+	}
+	// The adaptive allocator must do far better than whole-machine
+	// allocation on memory even in this fully composed setting.
+	if awe := res.Acc.AWE(resources.Memory); awe < 0.10 {
+		t.Errorf("memory AWE = %.3f; allocator not functioning end to end", awe)
+	}
+
+	// 3. The run log replays to identical metrics.
+	var logBuf bytes.Buffer
+	hdr := runlog.Header{Workload: w.Name, Algorithm: pol.Name(), Seed: 101}
+	if err := runlog.Write(&logBuf, hdr, res); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := runlog.Read(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := runlog.Replay(parsed)
+	for _, k := range resources.AllocatedKinds() {
+		if math.Abs(replayed.AWE(k)-res.Acc.AWE(k)) > 1e-9 {
+			t.Errorf("log replay AWE(%s) drifted: %v vs %v", k, replayed.AWE(k), res.Acc.AWE(k))
+		}
+	}
+	if replayed.Retries() != res.Acc.Retries() {
+		t.Errorf("log replay retries drifted: %d vs %d", replayed.Retries(), res.Acc.Retries())
+	}
+
+	// 4. Per-category breakdown covers both ColmenaXTB categories.
+	byCat := runlog.ReplayByCategory(parsed)
+	if len(byCat) != 2 {
+		t.Fatalf("categories in log = %d", len(byCat))
+	}
+	if byCat["evaluate_mpnn"].Tasks() != workflow.ColmenaEvaluateTasks {
+		t.Errorf("evaluate_mpnn tasks = %d", byCat["evaluate_mpnn"].Tasks())
+	}
+}
+
+// TestPriorFreeAcrossPerturbedReruns verifies the prior-free design goal:
+// rerunning a perturbed variant of a workflow (the paper's "evolution of
+// workflows") with a fresh allocator performs about as well as the original
+// run — there is no prior to mislead.
+func TestPriorFreeAcrossPerturbedReruns(t *testing.T) {
+	base, err := workflow.Synthetic("bimodal", 600, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(w *workflow.Workflow) float64 {
+		pol := allocator.MustNew(allocator.Greedy, allocator.Config{Seed: 56})
+		res, err := sim.RunSequential(w, pol, sim.RampEarly, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Acc.AWE(resources.Memory)
+	}
+	aweBase := run(base)
+	perturbed := workflow.Perturb(base, workflow.Perturbation{
+		Scale:        resources.New(1, 1.5, 1, 1.2),
+		Jitter:       0.05,
+		SwapFraction: 0.3,
+	}, 57)
+	awePerturbed := run(perturbed)
+	if math.Abs(aweBase-awePerturbed) > 0.12 {
+		t.Errorf("prior-free rerun diverged: base %.3f vs perturbed %.3f", aweBase, awePerturbed)
+	}
+}

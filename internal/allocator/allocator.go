@@ -1,0 +1,344 @@
+package allocator
+
+import (
+	"fmt"
+	"sync"
+
+	"dynalloc/internal/core"
+	"dynalloc/internal/dist"
+	"dynalloc/internal/record"
+	"dynalloc/internal/resources"
+	"math/rand/v2"
+)
+
+// Name identifies one of the seven allocation algorithms of the evaluation.
+type Name string
+
+// The allocation algorithms compared in Section V.
+const (
+	WholeMachine  Name = "whole-machine"
+	MaxSeen       Name = "max-seen"
+	MinWaste      Name = "min-waste"
+	MaxThroughput Name = "max-throughput"
+	Quantized     Name = "quantized-bucketing"
+	Greedy        Name = "greedy-bucketing"
+	Exhaustive    Name = "exhaustive-bucketing"
+)
+
+// Names returns all algorithm names in the order the paper's figures list
+// them.
+func Names() []Name {
+	return []Name{WholeMachine, MaxSeen, MinWaste, MaxThroughput, Quantized, Greedy, Exhaustive}
+}
+
+// PredictiveNames returns the algorithm names excluding the Whole Machine
+// baseline (the set shown in Figure 6).
+func PredictiveNames() []Name {
+	return []Name{MaxSeen, MinWaste, MaxThroughput, Quantized, Greedy, Exhaustive}
+}
+
+// ParseName validates an algorithm name string. Both the paper's seven
+// algorithms and the extensions are accepted.
+func ParseName(s string) (Name, error) {
+	for _, n := range ExtendedNames() {
+		if string(n) == s {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("allocator: unknown algorithm %q", s)
+}
+
+// Policy is the contract between the task scheduler and a resource
+// allocator (Figure 3a): the scheduler asks for an allocation for every
+// ready task, reports failed attempts to obtain escalated allocations, and
+// feeds back the resource record of every completed task.
+type Policy interface {
+	// Allocate returns the first-attempt allocation for a task.
+	Allocate(category string, taskID int) resources.Vector
+	// Retry returns the allocation after a failed attempt. prev is the
+	// allocation that failed and exceeded lists the kinds the task
+	// exhausted; unexhausted kinds keep their allocations.
+	Retry(category string, taskID int, prev resources.Vector, exceeded []resources.Kind) resources.Vector
+	// Observe reports the peak consumption and runtime of a completed task.
+	Observe(category string, taskID int, peak resources.Vector, runtime float64)
+	// Name identifies the algorithm.
+	Name() string
+}
+
+// Config tunes an Allocator. The zero value plus Capacity is usable;
+// defaults follow Section V-A.
+type Config struct {
+	// Capacity is the worker shape; predictions are clamped to it. Zero
+	// means the paper worker (16 cores / 64 GB / 64 GB).
+	Capacity resources.Vector
+	// Exploration is the first-attempt allocation used while fewer than
+	// ExploreCount records have been observed. Zero means the algorithm's
+	// default: 1 core / 1 GB / 1 GB for the bucketing family, a whole
+	// machine for the alternatives (Section V-C).
+	Exploration resources.Vector
+	// ExploreCount is the number of records required to leave exploratory
+	// mode. Zero means 10 (Section V-A).
+	ExploreCount int
+	// AllocateTime, when true, also predicts and enforces the wall-time
+	// dimension. The paper's evaluation leaves time unconstrained.
+	AllocateTime bool
+	// MaxSeenQuantum overrides the Max Seen histogram bucket size per kind.
+	// Zero entries default to 1 core / 250 MB / 250 MB / 60 s.
+	MaxSeenQuantum resources.Vector
+	// QuantizedQuantiles overrides the quantile split points of Quantized
+	// Bucketing. Empty means {0.5} (Section V-B).
+	QuantizedQuantiles []float64
+	// MaxBuckets caps Exhaustive Bucketing's configurations. Zero means 10.
+	MaxBuckets int
+	// IgnoreCategories pools every task category into a single estimator
+	// state. The paper argues against this (Section III-B: different
+	// categories don't necessarily correlate and should be allocated
+	// independently); the knob exists to quantify that argument.
+	IgnoreCategories bool
+	// FlatSignificance gives every record significance 1 instead of the
+	// paper's task-ID recency weighting (Section V-A), removing the
+	// bucketing approach's bias toward recent records. The knob exists to
+	// ablate the recency weighting's contribution on phasing workloads.
+	FlatSignificance bool
+	// KMeansK is the cluster count of the KMeans extension. Zero means 3.
+	KMeansK int
+	// PercentileQ is the quantile of the Percentile extension, in (0, 1).
+	// Zero means 0.95.
+	PercentileQ float64
+	// Seed drives the allocator's probabilistic bucket choices.
+	Seed uint64
+}
+
+func (c Config) withDefaults(alg Name) Config {
+	if c.Capacity.IsZero() {
+		c.Capacity = resources.PaperWorker()
+	}
+	if c.ExploreCount == 0 {
+		c.ExploreCount = 10
+	}
+	if c.Exploration.IsZero() {
+		switch alg {
+		case Greedy, Exhaustive, Quantized:
+			c.Exploration = resources.PaperExploration()
+		default:
+			c.Exploration = c.Capacity
+		}
+	}
+	if c.MaxSeenQuantum.IsZero() {
+		c.MaxSeenQuantum = resources.New(1, 250, 250, 60)
+	}
+	if len(c.QuantizedQuantiles) == 0 {
+		c.QuantizedQuantiles = []float64{0.5}
+	}
+	return c
+}
+
+// kinds returns the resource kinds this configuration allocates.
+func (c Config) kinds() []resources.Kind {
+	if c.AllocateTime {
+		return resources.Kinds()
+	}
+	return resources.AllocatedKinds()
+}
+
+// Allocator is the adaptive resource allocator of Section IV-D: it maintains
+// an independent estimator instance per task category and per resource kind,
+// wraps each in the exploratory mode, and serves multi-resource allocations
+// clamped to worker capacity. It is safe for concurrent use.
+type Allocator struct {
+	alg  Name
+	cfg  Config
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cats map[string]*categoryState
+}
+
+type categoryState struct {
+	est map[resources.Kind]Estimator
+}
+
+// New builds an allocator running the named algorithm.
+func New(alg Name, cfg Config) (*Allocator, error) {
+	if _, err := ParseName(string(alg)); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(alg)
+	return &Allocator{
+		alg:  alg,
+		cfg:  cfg,
+		rng:  dist.NewRand(cfg.Seed),
+		cats: make(map[string]*categoryState),
+	}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(alg Name, cfg Config) *Allocator {
+	a, err := New(alg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements Policy.
+func (a *Allocator) Name() string { return string(a.alg) }
+
+// Algorithm returns the algorithm name.
+func (a *Allocator) Algorithm() Name { return a.alg }
+
+func (a *Allocator) category(cat string) *categoryState {
+	if a.cfg.IgnoreCategories {
+		cat = ""
+	}
+	cs, ok := a.cats[cat]
+	if !ok {
+		cs = &categoryState{est: make(map[resources.Kind]Estimator, resources.NumKinds)}
+		for _, k := range a.cfg.kinds() {
+			cs.est[k] = a.newEstimator(k)
+		}
+		a.cats[cat] = cs
+	}
+	return cs
+}
+
+func (a *Allocator) newEstimator(k resources.Kind) Estimator {
+	var inner Estimator
+	switch a.alg {
+	case WholeMachine:
+		return &wholeMachine{capacity: a.cfg.Capacity.Get(k)}
+	case MaxSeen:
+		inner = &maxSeen{quantum: a.cfg.MaxSeenQuantum.Get(k)}
+	case MinWaste:
+		inner = &minWaste{}
+	case MaxThroughput:
+		inner = &maxThroughput{}
+	case Quantized:
+		inner = newQuantized(a.cfg.QuantizedQuantiles)
+	case Greedy:
+		inner = newBucketing(core.GreedyBucketing{})
+	case Exhaustive:
+		inner = newBucketing(core.ExhaustiveBucketing{MaxBuckets: a.cfg.MaxBuckets})
+	case KMeans:
+		inner = newKMeans(a.cfg.KMeansK)
+	case Percentile:
+		inner = newPercentile(a.cfg.PercentileQ)
+	default:
+		panic("allocator: unreachable algorithm " + a.alg)
+	}
+	return &explorer{
+		inner:     inner,
+		threshold: a.cfg.ExploreCount,
+		initial:   a.cfg.Exploration.Get(k),
+	}
+}
+
+// Allocate implements Policy.
+func (a *Allocator) Allocate(category string, taskID int) resources.Vector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := a.category(category)
+	alloc := resources.New(0, 0, 0, resources.Unlimited)
+	// Iterate kinds in canonical order so the shared RNG stream, and hence
+	// the whole run, is reproducible from the seed.
+	for _, k := range a.cfg.kinds() {
+		v := cs.est[k].Predict(a.rng)
+		alloc = alloc.With(k, a.clamp(k, v))
+	}
+	return alloc
+}
+
+// Retry implements Policy: exhausted kinds escalate through the kind's
+// estimator; all other kinds keep their previous allocation.
+func (a *Allocator) Retry(category string, taskID int, prev resources.Vector, exceeded []resources.Kind) resources.Vector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := a.category(category)
+	next := prev
+	for _, k := range exceeded {
+		est, ok := cs.est[k]
+		if !ok {
+			continue // kind not under allocation (e.g. time when disabled)
+		}
+		v := est.Retry(prev.Get(k), a.rng)
+		if v <= prev.Get(k) {
+			v = prev.Get(k) * 2 // defensive: keep escalation strictly increasing
+		}
+		next = next.With(k, a.clamp(k, v))
+	}
+	return next
+}
+
+// Observe implements Policy. Each resource kind's record carries the task's
+// peak consumption for that kind, the task ID as its significance value
+// (Section V-A), and the runtime for the time-weighted baselines.
+func (a *Allocator) Observe(category string, taskID int, peak resources.Vector, runtime float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := a.category(category)
+	sig := float64(taskID)
+	if a.cfg.FlatSignificance {
+		sig = 1
+	}
+	for _, k := range a.cfg.kinds() {
+		cs.est[k].Observe(record.Record{
+			TaskID: taskID,
+			Value:  peak.Get(k),
+			Sig:    sig,
+			Time:   runtime,
+		})
+	}
+}
+
+// clamp bounds a predicted value to (0, capacity].
+func (a *Allocator) clamp(k resources.Kind, v float64) float64 {
+	cap := a.cfg.Capacity.Get(k)
+	if v > cap {
+		return cap
+	}
+	if v <= 0 {
+		return a.cfg.Exploration.Get(k)
+	}
+	return v
+}
+
+// Records returns the number of records observed for a category (any kind).
+func (a *Allocator) Records(category string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs, ok := a.cats[category]
+	if !ok {
+		return 0
+	}
+	for _, est := range cs.est {
+		return est.Len()
+	}
+	return 0
+}
+
+// BucketStats returns the bucketing telemetry per (category, kind) when the
+// algorithm is Greedy or Exhaustive Bucketing; otherwise it returns nil.
+func (a *Allocator) BucketStats() map[string]map[resources.Kind]core.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out map[string]map[resources.Kind]core.Stats
+	for cat, cs := range a.cats {
+		for k, est := range cs.est {
+			ex, ok := est.(*explorer)
+			if !ok {
+				continue
+			}
+			b, ok := ex.inner.(*bucketing)
+			if !ok {
+				continue
+			}
+			if out == nil {
+				out = make(map[string]map[resources.Kind]core.Stats)
+			}
+			if out[cat] == nil {
+				out[cat] = make(map[resources.Kind]core.Stats)
+			}
+			out[cat][k] = b.Stats()
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package allocator
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/resources"
+)
+
+func TestParseName(t *testing.T) {
+	for _, n := range Names() {
+		got, err := ParseName(string(n))
+		if err != nil || got != n {
+			t.Errorf("ParseName(%q) = %v, %v", n, got, err)
+		}
+	}
+	if _, err := ParseName("nope"); err == nil {
+		t.Error("ParseName(nope) should fail")
+	}
+	if len(Names()) != 7 {
+		t.Errorf("Names() has %d entries, want 7", len(Names()))
+	}
+	if len(PredictiveNames()) != 6 {
+		t.Errorf("PredictiveNames() has %d entries, want 6", len(PredictiveNames()))
+	}
+}
+
+func TestNewRejectsUnknown(t *testing.T) {
+	if _, err := New(Name("bogus"), Config{}); err == nil {
+		t.Error("New with unknown algorithm should fail")
+	}
+}
+
+func TestDefaultExplorationPerAlgorithm(t *testing.T) {
+	// Bucketing family explores conservatively; alternatives explore with a
+	// whole machine (Section V-C).
+	conservative := map[Name]bool{Greedy: true, Exhaustive: true, Quantized: true}
+	for _, n := range Names() {
+		a := MustNew(n, Config{Seed: 1})
+		alloc := a.Allocate("cat", 1)
+		if conservative[n] {
+			want := resources.PaperExploration()
+			for _, k := range resources.AllocatedKinds() {
+				if alloc.Get(k) != want.Get(k) {
+					t.Errorf("%s exploratory alloc %s = %v, want %v", n, k, alloc.Get(k), want.Get(k))
+				}
+			}
+		} else {
+			want := resources.PaperWorker()
+			for _, k := range resources.AllocatedKinds() {
+				if alloc.Get(k) != want.Get(k) {
+					t.Errorf("%s exploratory alloc %s = %v, want %v (whole machine)", n, k, alloc.Get(k), want.Get(k))
+				}
+			}
+		}
+		if alloc.Get(resources.Time) != resources.Unlimited {
+			t.Errorf("%s should not constrain time by default", n)
+		}
+	}
+}
+
+func TestExploratoryModeEndsAfterTenRecords(t *testing.T) {
+	a := MustNew(Exhaustive, Config{Seed: 2})
+	peak := resources.New(0.5, 200, 50, 0).With(resources.Time, 30)
+	for i := 1; i <= 10; i++ {
+		alloc := a.Allocate("cat", i)
+		if alloc.Get(resources.Memory) != 1024 {
+			t.Fatalf("task %d: exploratory memory = %v, want 1024", i, alloc.Get(resources.Memory))
+		}
+		a.Observe("cat", i, peak, 30)
+	}
+	alloc := a.Allocate("cat", 11)
+	if alloc.Get(resources.Memory) != 200 {
+		t.Errorf("steady-state memory = %v, want 200 (single bucket rep)", alloc.Get(resources.Memory))
+	}
+	if alloc.Get(resources.Cores) != 0.5 {
+		t.Errorf("steady-state cores = %v, want 0.5", alloc.Get(resources.Cores))
+	}
+}
+
+func TestRetryEscalatesOnlyExceededKinds(t *testing.T) {
+	a := MustNew(Greedy, Config{Seed: 3})
+	prev := resources.New(1, 1024, 1024, resources.Unlimited)
+	next := a.Retry("cat", 1, prev, []resources.Kind{resources.Memory})
+	if next.Get(resources.Memory) != 2048 {
+		t.Errorf("exceeded memory = %v, want 2048 (exploratory doubling)", next.Get(resources.Memory))
+	}
+	if next.Get(resources.Cores) != 1 || next.Get(resources.Disk) != 1024 {
+		t.Errorf("unexceeded kinds changed: %v", next)
+	}
+}
+
+func TestRetryClampedToCapacity(t *testing.T) {
+	cap := resources.New(4, 4096, 4096, resources.Unlimited)
+	a := MustNew(MaxSeen, Config{Capacity: cap, Seed: 4})
+	prev := cap
+	next := a.Retry("cat", 1, prev, resources.AllocatedKinds())
+	for _, k := range resources.AllocatedKinds() {
+		if next.Get(k) > cap.Get(k) {
+			t.Errorf("retry exceeded capacity on %s: %v > %v", k, next.Get(k), cap.Get(k))
+		}
+	}
+}
+
+func TestAllocationsNeverExceedCapacity(t *testing.T) {
+	cap := resources.New(8, 8192, 8192, resources.Unlimited)
+	for _, n := range Names() {
+		a := MustNew(n, Config{Capacity: cap, Seed: 5})
+		for i := 1; i <= 30; i++ {
+			alloc := a.Allocate("cat", i)
+			for _, k := range resources.AllocatedKinds() {
+				if alloc.Get(k) > cap.Get(k) || alloc.Get(k) <= 0 {
+					t.Fatalf("%s task %d: alloc %s = %v out of (0, %v]", n, i, k, alloc.Get(k), cap.Get(k))
+				}
+			}
+			a.Observe("cat", i, resources.New(1, 500, 300, 0), 10)
+		}
+	}
+}
+
+func TestCategoriesAreIndependent(t *testing.T) {
+	a := MustNew(MaxSeen, Config{Seed: 6})
+	for i := 1; i <= 10; i++ {
+		a.Observe("small", i, resources.New(1, 100, 100, 0), 10)
+		a.Observe("large", i, resources.New(4, 9000, 100, 0), 10)
+	}
+	small := a.Allocate("small", 11)
+	large := a.Allocate("large", 11)
+	if small.Get(resources.Memory) >= large.Get(resources.Memory) {
+		t.Errorf("categories leaked: small=%v large=%v",
+			small.Get(resources.Memory), large.Get(resources.Memory))
+	}
+	if a.Records("small") != 10 || a.Records("none") != 0 {
+		t.Errorf("Records bookkeeping wrong: %d, %d", a.Records("small"), a.Records("none"))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []float64 {
+		a := MustNew(Exhaustive, Config{Seed: 42})
+		var out []float64
+		for i := 1; i <= 40; i++ {
+			alloc := a.Allocate("cat", i)
+			out = append(out, alloc.Get(resources.Memory))
+			mem := 100 + float64(i%7)*300
+			a.Observe("cat", i, resources.New(1, mem, 100, 0), 10)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBucketStatsExposure(t *testing.T) {
+	a := MustNew(Greedy, Config{Seed: 7})
+	for i := 1; i <= 15; i++ {
+		a.Allocate("cat", i)
+		a.Observe("cat", i, resources.New(1, 500, 100, 0), 10)
+	}
+	a.Allocate("cat", 16)
+	stats := a.BucketStats()
+	if stats == nil || stats["cat"] == nil {
+		t.Fatal("BucketStats missing for bucketing allocator")
+	}
+	if stats["cat"][resources.Memory].Recomputes == 0 {
+		t.Error("no recomputes recorded after steady-state predictions")
+	}
+	if got := MustNew(MaxSeen, Config{Seed: 8}).BucketStats(); got != nil {
+		t.Errorf("BucketStats for max-seen = %v, want nil", got)
+	}
+}
+
+func TestAllocateTimeDimension(t *testing.T) {
+	a := MustNew(Exhaustive, Config{AllocateTime: true, Seed: 9})
+	for i := 1; i <= 10; i++ {
+		a.Observe("cat", i, resources.New(1, 100, 100, 45), 45)
+	}
+	alloc := a.Allocate("cat", 11)
+	if alloc.Get(resources.Time) == resources.Unlimited {
+		t.Error("AllocateTime=true should constrain the time dimension after learning")
+	}
+	if got := alloc.Get(resources.Time); math.Abs(got-45) > 1e-9 {
+		t.Errorf("steady-state time allocation = %v, want 45", got)
+	}
+}
+
+func TestRetryDefensiveMonotonicity(t *testing.T) {
+	// Even if an estimator misbehaves (e.g. retry on an unknown category
+	// with zero history), the allocator keeps escalation strictly
+	// increasing up to the capacity clamp.
+	for _, n := range Names() {
+		a := MustNew(n, Config{Seed: 10})
+		prev := resources.New(1, 100, 100, resources.Unlimited)
+		for step := 0; step < 20; step++ {
+			next := a.Retry("cat", 1, prev, resources.AllocatedKinds())
+			for _, k := range resources.AllocatedKinds() {
+				atCap := prev.Get(k) >= a.cfg.Capacity.Get(k)
+				if !atCap && next.Get(k) <= prev.Get(k) {
+					t.Fatalf("%s: retry did not escalate %s: %v -> %v", n, k, prev.Get(k), next.Get(k))
+				}
+			}
+			prev = next
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad name should panic")
+		}
+	}()
+	MustNew(Name("bad"), Config{})
+}

@@ -1,0 +1,75 @@
+package allocator
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dynalloc/internal/record"
+)
+
+// wholeMachine is the paper's baseline: every task is allocated a full
+// worker. It never fails and never learns.
+type wholeMachine struct {
+	capacity float64
+	n        int
+}
+
+func (w *wholeMachine) Predict(*rand.Rand) float64 { return w.capacity }
+
+func (w *wholeMachine) Retry(prev float64, _ *rand.Rand) float64 {
+	// A task can only exhaust a whole machine if its consumption exceeds
+	// worker capacity; doubling keeps the contract that Retry increases.
+	if prev <= 0 {
+		return w.capacity
+	}
+	return prev * 2
+}
+
+func (w *wholeMachine) Observe(record.Record) { w.n++ }
+
+func (w *wholeMachine) Len() int { return w.n }
+
+// maxSeen allocates the maximum resource value seen so far in the current
+// run, rounded up on a histogram with a fixed bucket size (the paper notes a
+// bucket size of 250 MB, which turns TopEFT's constant 306 MB disk
+// consumption into a 500 MB allocation in the steady state, Section V-C).
+type maxSeen struct {
+	max     float64
+	n       int
+	quantum float64
+}
+
+func (m *maxSeen) Predict(*rand.Rand) float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return quantize(m.max, m.quantum)
+}
+
+func (m *maxSeen) Retry(prev float64, _ *rand.Rand) float64 {
+	if q := quantize(m.max, m.quantum); q > prev {
+		return q
+	}
+	if prev <= 0 {
+		return math.Max(m.quantum, 1)
+	}
+	return prev * 2
+}
+
+func (m *maxSeen) Observe(rec record.Record) {
+	m.n++
+	if rec.Value > m.max {
+		m.max = rec.Value
+	}
+}
+
+func (m *maxSeen) Len() int { return m.n }
+
+// quantize rounds v up to the next multiple of quantum. A non-positive
+// quantum disables rounding.
+func quantize(v, quantum float64) float64 {
+	if quantum <= 0 {
+		return v
+	}
+	return math.Ceil(v/quantum) * quantum
+}

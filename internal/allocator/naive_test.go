@@ -1,0 +1,115 @@
+package allocator
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynalloc/internal/record"
+)
+
+func TestWholeMachineAlwaysCapacity(t *testing.T) {
+	w := &wholeMachine{capacity: 16}
+	r := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 5; i++ {
+		if got := w.Predict(r); got != 16 {
+			t.Fatalf("Predict = %v, want 16", got)
+		}
+		w.Observe(record.Record{TaskID: i, Value: 3})
+	}
+	if w.Len() != 5 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	if got := w.Retry(16, r); got != 32 {
+		t.Errorf("Retry(16) = %v, want 32", got)
+	}
+	if got := w.Retry(0, r); got != 16 {
+		t.Errorf("Retry(0) = %v, want capacity", got)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	cases := []struct{ v, q, want float64 }{
+		{306, 250, 500},
+		{250, 250, 250},
+		{251, 250, 500},
+		{0.4, 1, 1},
+		{3.0, 1, 3},
+		{100, 0, 100}, // disabled
+	}
+	for _, c := range cases {
+		if got := quantize(c.v, c.q); got != c.want {
+			t.Errorf("quantize(%v, %v) = %v, want %v", c.v, c.q, got, c.want)
+		}
+	}
+}
+
+func TestMaxSeenHistogramRounding(t *testing.T) {
+	// The paper's example (Section V-C): a constant 306 MB disk consumption
+	// yields a 500 MB allocation under a 250 MB histogram.
+	m := &maxSeen{quantum: 250}
+	r := rand.New(rand.NewPCG(2, 2))
+	if got := m.Predict(r); got != 0 {
+		t.Fatalf("Predict with no records = %v, want 0", got)
+	}
+	m.Observe(record.Record{TaskID: 1, Value: 306})
+	if got := m.Predict(r); got != 500 {
+		t.Errorf("Predict = %v, want 500", got)
+	}
+	m.Observe(record.Record{TaskID: 2, Value: 120})
+	if got := m.Predict(r); got != 500 {
+		t.Errorf("Predict after smaller record = %v, want 500 (max seen)", got)
+	}
+	m.Observe(record.Record{TaskID: 3, Value: 501})
+	if got := m.Predict(r); got != 750 {
+		t.Errorf("Predict = %v, want 750", got)
+	}
+}
+
+func TestMaxSeenRetry(t *testing.T) {
+	m := &maxSeen{quantum: 250}
+	r := rand.New(rand.NewPCG(3, 3))
+	m.Observe(record.Record{TaskID: 1, Value: 700})
+	// Failure below the quantized max escalates straight to it.
+	if got := m.Retry(500, r); got != 750 {
+		t.Errorf("Retry(500) = %v, want 750", got)
+	}
+	// Failure at or above the quantized max doubles.
+	if got := m.Retry(750, r); got != 1500 {
+		t.Errorf("Retry(750) = %v, want 1500", got)
+	}
+	if got := m.Retry(0, r); got <= 0 {
+		t.Errorf("Retry(0) = %v, want positive", got)
+	}
+}
+
+func TestExplorerPhases(t *testing.T) {
+	e := &explorer{inner: &maxSeen{quantum: 1}, threshold: 3, initial: 1024}
+	r := rand.New(rand.NewPCG(4, 4))
+	if got := e.Predict(r); got != 1024 {
+		t.Fatalf("exploratory Predict = %v, want 1024", got)
+	}
+	if got := e.Retry(1024, r); got != 2048 {
+		t.Errorf("exploratory Retry = %v, want 2048 (doubling)", got)
+	}
+	if got := e.Retry(0, r); got != 1024 {
+		t.Errorf("exploratory Retry(0) = %v, want initial", got)
+	}
+	for i := 1; i <= 3; i++ {
+		e.Observe(record.Record{TaskID: i, Value: 100})
+	}
+	if e.exploring() {
+		t.Fatal("still exploring after threshold records")
+	}
+	if got := e.Predict(r); got != 100 {
+		t.Errorf("steady-state Predict = %v, want 100 (inner estimator)", got)
+	}
+}
+
+func TestExplorerFallsBackWhenInnerPredictsZero(t *testing.T) {
+	e := &explorer{inner: &maxSeen{quantum: 1}, threshold: 1, initial: 7}
+	r := rand.New(rand.NewPCG(5, 5))
+	e.Observe(record.Record{TaskID: 1, Value: 0}) // zero-valued resource
+	if got := e.Predict(r); got != 7 {
+		t.Errorf("Predict = %v, want fallback 7", got)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dynalloc/internal/record"
+)
+
+func TestBruteForceMatchesHandEnumeration(t *testing.T) {
+	// Two far-apart clusters: the optimum is clearly the two-bucket split.
+	l := uniformSigList(10, 11, 1000, 1001)
+	ends := BruteForce{}.Partition(l)
+	if len(ends) < 2 {
+		t.Fatalf("ends = %v, expected a split", ends)
+	}
+	has := false
+	for _, e := range ends {
+		if e == 1 {
+			has = true
+		}
+	}
+	if !has {
+		t.Errorf("ends = %v, want a break after index 1", ends)
+	}
+}
+
+func TestBruteForceGuards(t *testing.T) {
+	if got := (BruteForce{}).Partition(&record.List{}); got != nil {
+		t.Error("empty list should partition to nil")
+	}
+	if (BruteForce{}).Name() != "brute-force" {
+		t.Error("name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized list should panic")
+		}
+	}()
+	big := &record.List{}
+	for i := 0; i < 30; i++ {
+		big.Add(record.Record{TaskID: i + 1, Value: float64(i), Sig: 1})
+	}
+	BruteForce{}.Partition(big)
+}
+
+// Property: the brute-force partition is never worse than the single
+// bucket, the greedy partition, or the optimized exhaustive partition —
+// it is the true optimum of the cost model.
+func TestBruteForceIsOptimal(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		r := rand.New(rand.NewPCG(seed, 41))
+		l := &record.List{}
+		for i := 0; i < n; i++ {
+			l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 100, Sig: float64(i + 1)})
+		}
+		optimal := computeExhaustCost(l, BruteForce{}.Partition(l))
+		for _, alg := range []Algorithm{GreedyBucketing{}, ExhaustiveBucketing{}} {
+			if computeExhaustCost(l, alg.Partition(l)) < optimal-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The quality of the even-spacing heuristic: on random lists its expected
+// waste stays within a bounded factor of the brute-force optimum.
+func TestExhaustiveHeuristicGapIsBounded(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 44))
+	worst := 1.0
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + r.IntN(8)
+		l := &record.List{}
+		for i := 0; i < n; i++ {
+			l.Add(record.Record{TaskID: i + 1, Value: r.Float64()*100 + 1, Sig: float64(i + 1)})
+		}
+		gap := OptimalityGap(l, ExhaustiveBucketing{}.Partition(l), 0)
+		if math.IsInf(gap, 1) {
+			t.Fatalf("trial %d: infinite gap", trial)
+		}
+		worst = math.Max(worst, gap)
+	}
+	if worst > 3.0 {
+		t.Errorf("even-spacing heuristic up to %.2fx above optimum; expected a small constant", worst)
+	}
+	t.Logf("worst even-spacing gap over 60 random lists: %.3fx", worst)
+}
+
+func TestOptimalityGapPerfect(t *testing.T) {
+	l := uniformSigList(10, 11, 1000, 1001)
+	ends := BruteForce{}.Partition(l)
+	if gap := OptimalityGap(l, ends, 0); math.Abs(gap-1) > 1e-12 {
+		t.Errorf("gap of the optimum itself = %v", gap)
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements the paper's primary contribution: the bucketing
+// approach to adaptive task resource allocation (Section IV), with the two
+// bucket-finding algorithms Greedy Bucketing (Algorithm 1) and Exhaustive
+// Bucketing (Algorithm 2, with the even-spacing combinations optimization of
+// Section IV-D).
+//
+// A bucketing State tracks one resource kind for one task category. It
+// accumulates resource records of completed tasks, lazily recomputes a set of
+// buckets over the sorted record list, and serves allocation predictions:
+// the first allocation of a task samples a bucket in proportion to its
+// significance-weighted probability and returns the bucket's representative
+// value; after a resource exhaustion, only buckets with strictly larger
+// representatives are considered, and when none remain the previous
+// allocation is doubled until the task succeeds.
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dynalloc/internal/record"
+)
+
+// Bucket is one interval of the sorted record list, reduced to the two
+// values the predictor needs (Section IV-A): the representative value
+// (the maximum record value in the bucket) and the probability value
+// (the bucket's share of total significance).
+type Bucket struct {
+	Lo, Hi int     // inclusive index range into the sorted record list
+	Rep    float64 // representative value: max record value in the bucket
+	Prob   float64 // normalized significance share of the bucket
+	Count  int     // number of records in the bucket
+}
+
+func (b Bucket) String() string {
+	return fmt.Sprintf("bucket[%d:%d] rep=%.3f prob=%.3f n=%d", b.Lo, b.Hi, b.Rep, b.Prob, b.Count)
+}
+
+// bucketsFromEnds materializes buckets from the inclusive end indices of
+// each bucket over the sorted record list. ends must be strictly ascending
+// and terminate at l.Len()-1.
+func bucketsFromEnds(l *record.List, ends []int) []Bucket {
+	total := l.TotalSig()
+	out := make([]Bucket, 0, len(ends))
+	lo := 0
+	for _, hi := range ends {
+		b := Bucket{
+			Lo:    lo,
+			Hi:    hi,
+			Rep:   l.Value(hi),
+			Count: hi - lo + 1,
+		}
+		if total > 0 {
+			b.Prob = l.SigSum(lo, hi) / total
+		}
+		out = append(out, b)
+		lo = hi + 1
+	}
+	return out
+}
+
+// sampleBucket draws a bucket index in proportion to the (possibly
+// unnormalized) probability masses of buckets[from:]. It returns the index
+// into the full slice.
+func sampleBucket(buckets []Bucket, from int, r *rand.Rand) int {
+	total := 0.0
+	for _, b := range buckets[from:] {
+		total += b.Prob
+	}
+	if total <= 0 {
+		return len(buckets) - 1
+	}
+	x := r.Float64() * total
+	for i := from; i < len(buckets); i++ {
+		x -= buckets[i].Prob
+		if x < 0 {
+			return i
+		}
+	}
+	return len(buckets) - 1
+}
+
+// Algorithm computes a bucket partition over a sorted record list. The
+// returned slice holds the inclusive end index of every bucket, ascending,
+// with the final element equal to l.Len()-1.
+type Algorithm interface {
+	Name() string
+	Partition(l *record.List) []int
+}
+
+// ComputeBuckets runs one full bucketing-state computation — partitioning
+// the record list and materializing the buckets — exactly the work a state
+// recomputation performs. The Table I harness times this step together with
+// an allocation derivation.
+func ComputeBuckets(l *record.List, alg Algorithm) []Bucket {
+	return bucketsFromEnds(l, alg.Partition(l))
+}
+
+// SampleAllocation derives an allocation from a bucket set the way the
+// predictor does: a bucket is chosen in proportion to its probability and
+// its representative value returned.
+func SampleAllocation(buckets []Bucket, r *rand.Rand) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	return buckets[sampleBucket(buckets, 0, r)].Rep
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+
+	"dynalloc/internal/record"
+)
+
+// DefaultMaxBuckets is the cap on the number of buckets considered by
+// Exhaustive Bucketing. The paper observes that the number of buckets rarely
+// exceeds 10 at any given time and restricts the outer loop accordingly
+// (Section V-A).
+const DefaultMaxBuckets = 10
+
+// ExhaustiveBucketing implements Algorithm 2 with the combinations
+// optimization of Section IV-D. Rather than enumerating all C(N, k) break
+// point sets, each bucket count nb considers a single candidate
+// configuration whose break values split the value space evenly
+// (v_max·i/nb), mapped to the closest records with lower values; duplicate
+// and empty mappings are dropped. Each configuration is scored by
+// computeExhaustCost and the lowest expected waste wins.
+type ExhaustiveBucketing struct {
+	// MaxBuckets bounds the number of buckets considered; 0 means
+	// DefaultMaxBuckets.
+	MaxBuckets int
+}
+
+// Name implements Algorithm.
+func (ExhaustiveBucketing) Name() string { return "exhaustive" }
+
+// Partition implements Algorithm.
+func (e ExhaustiveBucketing) Partition(l *record.List) []int {
+	n := l.Len()
+	if n == 0 {
+		return nil
+	}
+	maxB := e.MaxBuckets
+	if maxB <= 0 {
+		maxB = DefaultMaxBuckets
+	}
+	if maxB > n {
+		maxB = n
+	}
+	best := []int{n - 1}
+	bestCost := computeExhaustCost(l, best)
+	for nb := 2; nb <= maxB; nb++ {
+		ends := evenEnds(l, nb)
+		if len(ends) < 2 {
+			continue // configuration degenerated to a single bucket
+		}
+		cost := computeExhaustCost(l, ends)
+		if cost < bestCost {
+			bestCost = cost
+			best = ends
+		}
+	}
+	return best
+}
+
+// evenEnds returns the candidate bucket end indices for a target of nb
+// buckets: break values at v_max·i/nb for i = 1..nb-1, each mapped to the
+// closest record strictly below it, deduplicated, plus the final index.
+func evenEnds(l *record.List, nb int) []int {
+	n := l.Len()
+	vmax := l.MaxValue()
+	ends := make([]int, 0, nb)
+	prev := -1
+	for i := 1; i < nb; i++ {
+		idx := l.SearchValue(vmax * float64(i) / float64(nb))
+		if idx < 0 || idx == prev || idx >= n-1 {
+			continue // empty or duplicate mapping, or collides with the last bucket
+		}
+		ends = append(ends, idx)
+		prev = idx
+	}
+	return append(ends, n-1)
+}
+
+// computeExhaustCost is compute_exhaust_cost of Algorithm 2: the expected
+// resource waste of the next task under the bucket configuration described
+// by ends. It fills the N×N table T where T[i][j] is the expected waste
+// when the task truly falls within bucket i and the allocator chooses bucket
+// j:
+//
+//	i <= j: T[i][j] = rep_j - v_i                      (allocation sufficient)
+//	i >  j: T[i][j] = rep_j + Σ_{k>j} p_k/P_{>j} · T[i][k]   (failed, retried
+//	        among the renormalized higher buckets)
+//
+// filled from the last column toward the first, and returns
+// W = Σ_{i,j} p_i · p_j · T[i][j].
+func computeExhaustCost(l *record.List, ends []int) float64 {
+	nB := len(ends)
+	rep := make([]float64, nB)
+	prob := make([]float64, nB)
+	v := make([]float64, nB)
+	total := l.TotalSig()
+	lo := 0
+	for j, hi := range ends {
+		rep[j] = l.Value(hi)
+		if total > 0 {
+			prob[j] = l.SigSum(lo, hi) / total
+		}
+		v[j] = l.WeightedMean(lo, hi)
+		lo = hi + 1
+	}
+
+	// tail[j] = Σ_{m >= j} prob_m, so the renormalizer for buckets above j
+	// is tail[j+1].
+	tail := make([]float64, nB+1)
+	for j := nB - 1; j >= 0; j-- {
+		tail[j] = tail[j+1] + prob[j]
+	}
+
+	t := make([][]float64, nB)
+	for i := range t {
+		t[i] = make([]float64, nB)
+		for j := nB - 1; j >= 0; j-- {
+			if i <= j {
+				t[i][j] = rep[j] - v[i]
+				continue
+			}
+			sum := rep[j]
+			if tail[j+1] > 0 {
+				for k := j + 1; k < nB; k++ {
+					sum += prob[k] / tail[j+1] * t[i][k]
+				}
+			}
+			t[i][j] = sum
+		}
+	}
+
+	w := 0.0
+	for i := 0; i < nB; i++ {
+		for j := 0; j < nB; j++ {
+			w += prob[i] * prob[j] * t[i][j]
+		}
+	}
+	if math.IsNaN(w) {
+		return math.Inf(1)
+	}
+	return w
+}
+
+// ExpectedWaste exposes compute_exhaust_cost for tests, ablations, and the
+// worked-example tooling: it scores an arbitrary bucket configuration
+// (given by inclusive end indices over the sorted record list) by its
+// expected resource waste for the next task.
+func ExpectedWaste(l *record.List, ends []int) float64 {
+	return computeExhaustCost(l, ends)
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dynalloc/internal/record"
+)
+
+func TestEvenEndsBasic(t *testing.T) {
+	l := uniformSigList(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	// nb = 2: break value at 50 -> closest record strictly below 50 is 40
+	// (index 3); ends = [3, 9].
+	ends := evenEnds(l, 2)
+	if len(ends) != 2 || ends[0] != 3 || ends[1] != 9 {
+		t.Errorf("evenEnds(2) = %v, want [3 9]", ends)
+	}
+	// nb = 4: break values 25, 50, 75 -> indices of 20, 40, 70 = 1, 3, 6.
+	ends = evenEnds(l, 4)
+	want := []int{1, 3, 6, 9}
+	if len(ends) != len(want) {
+		t.Fatalf("evenEnds(4) = %v, want %v", ends, want)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("evenEnds(4) = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestEvenEndsDropsEmptyAndDuplicateMappings(t *testing.T) {
+	// All mass near the max: low break values map below the minimum record
+	// and must be dropped; close break values map to the same record and
+	// must be deduplicated.
+	l := uniformSigList(90, 91, 92, 93, 100)
+	ends := evenEnds(l, 10) // break values 10,20,...,90
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatalf("evenEnds produced non-ascending ends %v", ends)
+		}
+	}
+	if ends[len(ends)-1] != 4 {
+		t.Errorf("last end = %d, want 4", ends[len(ends)-1])
+	}
+}
+
+func TestEvenEndsNeverCollidesWithFinalBucket(t *testing.T) {
+	l := uniformSigList(1, 2, 3)
+	for nb := 2; nb <= 10; nb++ {
+		ends := evenEnds(l, nb)
+		for i := 0; i < len(ends)-1; i++ {
+			if ends[i] >= 2 {
+				t.Fatalf("nb=%d: interior end %d collides with final bucket", nb, ends[i])
+			}
+		}
+	}
+}
+
+func TestComputeExhaustCostSingleBucket(t *testing.T) {
+	l := uniformSigList(10, 20, 30)
+	// One bucket: rep = 30, v = 20 -> expected waste = 10.
+	if got := computeExhaustCost(l, []int{2}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("single bucket cost = %v, want 10", got)
+	}
+}
+
+func TestComputeExhaustCostTwoBucketsHand(t *testing.T) {
+	// Records 10, 30 with uniform significance; buckets {10}, {30}.
+	// p1 = p2 = 0.5; rep = [10, 30]; v = [10, 30].
+	// T[0][0]=0, T[0][1]=20, T[1][1]=0, T[1][0]=10 + 1.0*T[1][1] = 10.
+	// W = .25*(0 + 20 + 10 + 0) = 7.5 — equal to the greedy split cost.
+	l := uniformSigList(10, 30)
+	if got := computeExhaustCost(l, []int{0, 1}); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("two-bucket cost = %v, want 7.5", got)
+	}
+}
+
+// simulateExpectedWaste Monte-Carlo-simulates the allocation process the
+// T-table models: the task's true bucket i is drawn by probability, the
+// allocator draws j the same way, and whenever j < i the allocation fails,
+// wasting rep_j, and the allocator redraws among buckets above j.
+func simulateExpectedWaste(l *record.List, ends []int, trials int, r *rand.Rand) float64 {
+	buckets := bucketsFromEnds(l, ends)
+	v := make([]float64, len(buckets))
+	lo := 0
+	for j, e := range ends {
+		v[j] = l.WeightedMean(lo, e)
+		lo = e + 1
+	}
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		i := sampleBucket(buckets, 0, r)
+		j := sampleBucket(buckets, 0, r)
+		waste := 0.0
+		for j < i {
+			waste += buckets[j].Rep
+			j = sampleBucket(buckets, j+1, r)
+		}
+		waste += buckets[j].Rep - v[i]
+		total += waste
+	}
+	return total / float64(trials)
+}
+
+func TestExhaustCostMatchesMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	l := &record.List{}
+	for i := 0; i < 60; i++ {
+		l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 100, Sig: float64(i + 1)})
+	}
+	for _, ends := range [][]int{
+		{59},
+		{19, 59},
+		{9, 29, 59},
+		{4, 14, 34, 59},
+	} {
+		analytic := computeExhaustCost(l, ends)
+		mc := simulateExpectedWaste(l, ends, 300000, r)
+		if math.Abs(analytic-mc) > 0.02*(1+math.Abs(analytic)) {
+			t.Errorf("ends %v: analytic %v vs monte-carlo %v", ends, analytic, mc)
+		}
+	}
+}
+
+// allConfigurations enumerates every bucket-end configuration of a list of
+// length n (the true exhaustive search Algorithm 2 describes before the
+// combinations optimization).
+func allConfigurations(n int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if start == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for end := start; end < n; end++ {
+			rec(end+1, append(cur, end))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func TestExhaustiveBeatsOrMatchesSingleBucket(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		r := rand.New(rand.NewPCG(seed, 13))
+		l := &record.List{}
+		for i := 0; i < n; i++ {
+			l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 100, Sig: float64(i + 1)})
+		}
+		ends := ExhaustiveBucketing{}.Partition(l)
+		chosen := computeExhaustCost(l, ends)
+		single := computeExhaustCost(l, []int{n - 1})
+		return chosen <= single+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExhaustiveNearTrueOptimumOnSeparatedClusters(t *testing.T) {
+	// On well-separated clusters the even-spacing heuristic should find the
+	// same partition as the true exhaustive enumeration.
+	values := []float64{10, 11, 12, 500, 510, 990, 1000}
+	l := uniformSigList(values...)
+	best := math.Inf(1)
+	for _, cfg := range allConfigurations(len(values)) {
+		if c := computeExhaustCost(l, cfg); c < best {
+			best = c
+		}
+	}
+	got := computeExhaustCost(l, ExhaustiveBucketing{}.Partition(l))
+	if got > best*1.25+1e-9 {
+		t.Errorf("even-spacing cost %v too far above true optimum %v", got, best)
+	}
+}
+
+func TestExhaustiveRespectsMaxBuckets(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 11))
+	l := &record.List{}
+	for i := 0; i < 500; i++ {
+		l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 1000, Sig: float64(i + 1)})
+	}
+	for _, maxB := range []int{1, 2, 3, 5, 10} {
+		ends := ExhaustiveBucketing{MaxBuckets: maxB}.Partition(l)
+		if len(ends) > maxB {
+			t.Errorf("MaxBuckets=%d produced %d buckets", maxB, len(ends))
+		}
+	}
+	// Default cap is 10.
+	ends := ExhaustiveBucketing{}.Partition(l)
+	if len(ends) > DefaultMaxBuckets {
+		t.Errorf("default cap exceeded: %d buckets", len(ends))
+	}
+}
+
+func TestExhaustiveEmptyAndSingleton(t *testing.T) {
+	if got := (ExhaustiveBucketing{}).Partition(&record.List{}); got != nil {
+		t.Errorf("empty partition = %v", got)
+	}
+	l := uniformSigList(5)
+	ends := ExhaustiveBucketing{}.Partition(l)
+	if len(ends) != 1 || ends[0] != 0 {
+		t.Errorf("singleton partition = %v", ends)
+	}
+}
+
+func TestExhaustiveName(t *testing.T) {
+	if (ExhaustiveBucketing{}).Name() != "exhaustive" {
+		t.Error("unexpected algorithm name")
+	}
+}
+
+func TestExpectedWasteExported(t *testing.T) {
+	l := uniformSigList(10, 30)
+	if got := ExpectedWaste(l, []int{0, 1}); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("ExpectedWaste = %v, want 7.5", got)
+	}
+}
+
+func TestBucketCountStaysSmall(t *testing.T) {
+	// Section V-A: "the number of buckets rarely exceeds 10 at any given
+	// time". Exhaustive is capped by construction; greedy should also stay
+	// small on the distribution families of the evaluation.
+	r := rand.New(rand.NewPCG(99, 99))
+	type gen func() float64
+	families := map[string]gen{
+		"normal":      func() float64 { return math.Max(8+2*r.NormFloat64(), 0.1) },
+		"uniform":     func() float64 { return 2 + 10*r.Float64() },
+		"exponential": func() float64 { return 2 + 3*r.ExpFloat64() },
+		"bimodal": func() float64 {
+			if r.Float64() < 0.5 {
+				return math.Max(3+0.4*r.NormFloat64(), 0.1)
+			}
+			return math.Max(9+0.7*r.NormFloat64(), 0.1)
+		},
+	}
+	for name, g := range families {
+		l := &record.List{}
+		for i := 0; i < 2000; i++ {
+			l.Add(record.Record{TaskID: i + 1, Value: g(), Sig: float64(i + 1)})
+		}
+		eb := ExhaustiveBucketing{}.Partition(l)
+		if len(eb) > 10 {
+			t.Errorf("%s: exhaustive produced %d buckets", name, len(eb))
+		}
+		gb := GreedyBucketing{}.Partition(l)
+		if len(gb) > 64 {
+			t.Errorf("%s: greedy produced an implausible %d buckets", name, len(gb))
+		}
+	}
+}

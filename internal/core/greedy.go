@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+
+	"dynalloc/internal/record"
+)
+
+// GreedyBucketing implements Algorithm 1 of the paper. Given the sorted
+// record range [lo, hi] it scans every candidate break point i, evaluates the
+// expected resource waste of the two-bucket configuration {[lo,i], [i+1,hi]}
+// (with i == hi encoding "keep a single bucket"), keeps the minimizing break,
+// and recurses into both halves. Every range statistic is served from the
+// record list's prefix sums, so each cost evaluation is O(1) and each scan is
+// O(hi-lo).
+type GreedyBucketing struct{}
+
+// Name implements Algorithm.
+func (GreedyBucketing) Name() string { return "greedy" }
+
+// Partition implements Algorithm.
+func (GreedyBucketing) Partition(l *record.List) []int {
+	n := l.Len()
+	if n == 0 {
+		return nil
+	}
+	return greedySplit(l, 0, n-1, make([]int, 0, 8))
+}
+
+// greedySplit appends the bucket end indices for the sorted range [lo, hi]
+// to out and returns the extended slice.
+func greedySplit(l *record.List, lo, hi int, out []int) []int {
+	if lo == hi {
+		return append(out, hi)
+	}
+	minCost := math.Inf(1)
+	breakIdx := hi
+	for i := lo; i <= hi; i++ {
+		cost := greedyCost(l, lo, i, hi)
+		if cost < minCost {
+			minCost = cost
+			breakIdx = i
+		}
+	}
+	if breakIdx == hi {
+		// A single bucket over [lo, hi] yields the minimum expected waste.
+		return append(out, hi)
+	}
+	out = greedySplit(l, lo, breakIdx, out)
+	out = greedySplit(l, breakIdx+1, hi, out)
+	return out
+}
+
+// greedyCost is compute_greedy_cost of Algorithm 1: the expected resource
+// waste of the next task under the two-bucket configuration obtained by
+// breaking the sorted range [lo, hi] after index i. The four cases of
+// Section IV-B are:
+//
+//	task in B1, choose B1: p1^2 * (rep1 - v_lo)
+//	task in B1, choose B2: p1*p2 * (rep2 - v_lo)
+//	task in B2, choose B1: p2*p1 * (rep1 + rep2 - v_hi)   (failed, retried)
+//	task in B2, choose B2: p2^2 * (rep2 - v_hi)
+//
+// where v_lo and v_hi are the significance-weighted mean values of the
+// respective buckets. i == hi evaluates the single-bucket configuration,
+// whose expected waste is rep - v_mean.
+func greedyCost(l *record.List, lo, i, hi int) float64 {
+	if i == hi {
+		return l.Value(hi) - l.WeightedMean(lo, hi)
+	}
+	s1 := l.SigSum(lo, i)
+	s2 := l.SigSum(i+1, hi)
+	total := s1 + s2
+	if total <= 0 {
+		return math.Inf(1)
+	}
+	p1 := s1 / total
+	p2 := s2 / total
+	rep1 := l.Value(i)
+	rep2 := l.Value(hi)
+	vLo := l.WeightedMean(lo, i)
+	vHi := l.WeightedMean(i+1, hi)
+	return p1*p1*(rep1-vLo) +
+		p1*p2*(rep2-vLo) +
+		p2*p1*(rep1+rep2-vHi) +
+		p2*p2*(rep2-vHi)
+}

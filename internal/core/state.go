@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"dynalloc/internal/record"
+)
+
+// Stats exposes the telemetry the paper reports in Table I and Section V-C:
+// how often the bucketing state was recomputed, how long the recomputations
+// took, and how large the bucket sets grew.
+type Stats struct {
+	Recomputes    int           // number of bucket recomputations performed
+	RecomputeTime time.Duration // cumulative wall time spent recomputing
+	Predictions   int           // number of Predict/Retry calls served
+	LastBuckets   int           // bucket count after the latest recomputation
+	MaxBuckets    int           // largest bucket count ever observed
+}
+
+// State is the bucketing state for one resource kind of one task category
+// (Figure 3a: the bucketing manager maintains a separate state per resource
+// type). Records are accumulated as tasks complete; the bucket set is
+// recomputed lazily on the next prediction after an update, which realizes
+// the batching behaviour described in Section V-C (a sequence of completed
+// tasks between two ready tasks costs one recomputation).
+//
+// State is not safe for concurrent use; callers serialize access (the
+// allocator owns one goroutine-confined state per category and kind).
+type State struct {
+	alg     Algorithm
+	recs    record.List
+	buckets []Bucket
+	dirty   bool
+	stats   Stats
+}
+
+// NewState returns an empty bucketing state driven by the given algorithm.
+func NewState(alg Algorithm) *State {
+	return &State{alg: alg}
+}
+
+// Algorithm returns the bucket-finding algorithm driving this state.
+func (s *State) Algorithm() Algorithm { return s.alg }
+
+// Add records the peak consumption of a completed task and marks the bucket
+// set stale.
+func (s *State) Add(r record.Record) {
+	s.recs.Add(r)
+	s.dirty = true
+}
+
+// Len returns the number of accumulated records.
+func (s *State) Len() int { return s.recs.Len() }
+
+// Records exposes the underlying record list (read-only use).
+func (s *State) Records() *record.List { return &s.recs }
+
+// Stats returns a copy of the state's telemetry counters.
+func (s *State) Stats() Stats { return s.stats }
+
+// Buckets returns the current bucket set, recomputing it first if any
+// records arrived since the last computation.
+func (s *State) Buckets() []Bucket {
+	if s.dirty || s.buckets == nil {
+		start := time.Now()
+		ends := s.alg.Partition(&s.recs)
+		s.buckets = bucketsFromEnds(&s.recs, ends)
+		s.stats.RecomputeTime += time.Since(start)
+		s.stats.Recomputes++
+		s.stats.LastBuckets = len(s.buckets)
+		if len(s.buckets) > s.stats.MaxBuckets {
+			s.stats.MaxBuckets = len(s.buckets)
+		}
+		s.dirty = false
+	}
+	return s.buckets
+}
+
+// Predict returns the first-attempt allocation for the next task: a bucket
+// is sampled in proportion to its probability value and its representative
+// value is returned. With no records yet, Predict returns 0 and the caller
+// (the allocator's exploratory mode) must supply a default.
+func (s *State) Predict(r *rand.Rand) float64 {
+	s.stats.Predictions++
+	bs := s.Buckets()
+	if len(bs) == 0 {
+		return 0
+	}
+	return bs[sampleBucket(bs, 0, r)].Rep
+}
+
+// Retry returns the allocation for a task that exhausted a previous
+// allocation of prev: only buckets with representative values strictly
+// greater than prev are considered, with probabilities renormalized among
+// them; when no such bucket exists the previous value is doubled
+// (Section IV-A). A non-positive prev falls back to the smallest positive
+// step so the doubling chain is always increasing.
+func (s *State) Retry(prev float64, r *rand.Rand) float64 {
+	s.stats.Predictions++
+	bs := s.Buckets()
+	from := len(bs)
+	for i, b := range bs {
+		if b.Rep > prev {
+			from = i
+			break
+		}
+	}
+	if from == len(bs) {
+		if prev <= 0 {
+			return 1
+		}
+		return prev * 2
+	}
+	return bs[sampleBucket(bs, from, r)].Rep
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dynalloc/internal/record"
+)
+
+func addN(s *State, values ...float64) {
+	base := s.Len()
+	for i, v := range values {
+		s.Add(record.Record{TaskID: base + i + 1, Value: v, Sig: float64(base + i + 1), Time: 1})
+	}
+}
+
+func TestStateLazyRecompute(t *testing.T) {
+	s := NewState(GreedyBucketing{})
+	addN(s, 1, 2, 3, 4, 5)
+	if got := s.Stats().Recomputes; got != 0 {
+		t.Fatalf("recomputes before first query = %d", got)
+	}
+	s.Buckets()
+	s.Buckets()
+	if got := s.Stats().Recomputes; got != 1 {
+		t.Errorf("recomputes after two queries = %d, want 1 (lazy batching)", got)
+	}
+	// A batch of updates between predictions costs exactly one recompute.
+	addN(s, 6, 7, 8)
+	r := rand.New(rand.NewPCG(1, 1))
+	s.Predict(r)
+	s.Predict(r)
+	if got := s.Stats().Recomputes; got != 2 {
+		t.Errorf("recomputes after batch update = %d, want 2", got)
+	}
+	if got := s.Stats().Predictions; got != 2 {
+		t.Errorf("predictions = %d, want 2", got)
+	}
+}
+
+func TestStatePredictEmptyReturnsZero(t *testing.T) {
+	s := NewState(ExhaustiveBucketing{})
+	r := rand.New(rand.NewPCG(2, 2))
+	if got := s.Predict(r); got != 0 {
+		t.Errorf("empty Predict = %v, want 0", got)
+	}
+}
+
+func TestStatePredictReturnsARep(t *testing.T) {
+	s := NewState(ExhaustiveBucketing{})
+	addN(s, 100, 101, 102, 5000, 5001, 5002)
+	r := rand.New(rand.NewPCG(3, 3))
+	reps := map[float64]bool{}
+	for _, b := range s.Buckets() {
+		reps[b.Rep] = true
+	}
+	for i := 0; i < 200; i++ {
+		p := s.Predict(r)
+		if !reps[p] {
+			t.Fatalf("Predict returned %v, not a bucket representative %v", p, reps)
+		}
+	}
+}
+
+func TestStatePredictFollowsBucketProbabilities(t *testing.T) {
+	// Two clusters with uniform significance: 4 low records and 4 high
+	// records should split prediction mass roughly evenly once separated.
+	s := NewState(GreedyBucketing{})
+	for i, v := range []float64{10, 11, 12, 13, 900, 901, 902, 903} {
+		s.Add(record.Record{TaskID: i + 1, Value: v, Sig: 1})
+	}
+	bs := s.Buckets()
+	if len(bs) < 2 {
+		t.Fatalf("expected >= 2 buckets, got %v", bs)
+	}
+	r := rand.New(rand.NewPCG(4, 4))
+	low := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Predict(r) < 500 {
+			low++
+		}
+	}
+	frac := float64(low) / n
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("low-bucket prediction fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestStateRetryEscalates(t *testing.T) {
+	s := NewState(ExhaustiveBucketing{})
+	addN(s, 100, 101, 102, 5000, 5001, 5002)
+	r := rand.New(rand.NewPCG(5, 5))
+	// After failing at the low bucket's rep, retry must land strictly above.
+	lowRep := s.Buckets()[0].Rep
+	for i := 0; i < 100; i++ {
+		got := s.Retry(lowRep, r)
+		if got <= lowRep {
+			t.Fatalf("Retry(%v) = %v, not an escalation", lowRep, got)
+		}
+	}
+}
+
+func TestStateRetryDoublesAboveMax(t *testing.T) {
+	s := NewState(GreedyBucketing{})
+	addN(s, 10, 20, 30)
+	r := rand.New(rand.NewPCG(6, 6))
+	if got := s.Retry(30, r); got != 60 {
+		t.Errorf("Retry(30) above all reps = %v, want 60 (doubling)", got)
+	}
+	if got := s.Retry(100, r); got != 200 {
+		t.Errorf("Retry(100) = %v, want 200", got)
+	}
+}
+
+func TestStateRetryZeroPrev(t *testing.T) {
+	s := NewState(GreedyBucketing{})
+	r := rand.New(rand.NewPCG(7, 7))
+	if got := s.Retry(0, r); got != 1 {
+		t.Errorf("Retry(0) with no buckets = %v, want 1", got)
+	}
+	if got := s.Retry(-5, r); got != 1 {
+		t.Errorf("Retry(-5) = %v, want 1", got)
+	}
+}
+
+func TestStateRetryTerminates(t *testing.T) {
+	// Escalation from any starting point must exceed any target in finitely
+	// many steps: each Retry strictly increases the allocation.
+	s := NewState(ExhaustiveBucketing{})
+	addN(s, 5, 6, 7, 8, 1000)
+	r := rand.New(rand.NewPCG(8, 8))
+	target := 1e9
+	alloc := s.Predict(r)
+	steps := 0
+	for alloc < target {
+		next := s.Retry(alloc, r)
+		if next <= alloc {
+			t.Fatalf("Retry did not increase: %v -> %v", alloc, next)
+		}
+		alloc = next
+		steps++
+		if steps > 64 {
+			t.Fatalf("escalation took too long: %d steps, at %v", steps, alloc)
+		}
+	}
+}
+
+func TestStateMaxBucketsTelemetry(t *testing.T) {
+	s := NewState(ExhaustiveBucketing{})
+	addN(s, 1, 2, 3, 100, 200, 300, 1000, 2000, 3000)
+	s.Buckets()
+	st := s.Stats()
+	if st.LastBuckets < 1 || st.MaxBuckets < st.LastBuckets {
+		t.Errorf("telemetry inconsistent: %+v", st)
+	}
+	if st.RecomputeTime < 0 {
+		t.Errorf("negative recompute time: %v", st.RecomputeTime)
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	s := NewState(GreedyBucketing{})
+	if s.Algorithm().Name() != "greedy" {
+		t.Error("Algorithm accessor mismatch")
+	}
+	addN(s, 1, 2)
+	if s.Len() != 2 || s.Records().Len() != 2 {
+		t.Error("record accessors mismatch")
+	}
+}

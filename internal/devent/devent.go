@@ -1,0 +1,139 @@
+// Package devent is a minimal discrete-event simulation engine: a virtual
+// clock and a future-event list ordered by (time, scheduling sequence), with
+// cancellable events. The (time, sequence) ordering makes every simulation
+// deterministic: events scheduled for the same instant fire in scheduling
+// order.
+package devent
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a handle to a scheduled callback. It can be cancelled up until it
+// fires.
+type Event struct {
+	at        float64
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the virtual time the event is scheduled for.
+func (e *Event) Time() float64 { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation clock and event queue. The zero value is ready
+// to use at time 0.
+type Engine struct {
+	now  float64
+	heap eventHeap
+	seq  int64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled (uncancelled or cancelled but not
+// yet reaped) events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("devent: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d virtual seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the next non-cancelled event. It returns false when the queue
+// is exhausted.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue. Callbacks may schedule further events.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil drains events scheduled at or before deadline, then advances the
+// clock to deadline (if it is in the future).
+func (e *Engine) RunUntil(deadline float64) {
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) peek() (float64, bool) {
+	for len(e.heap) > 0 {
+		if e.heap[0].cancelled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		return e.heap[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,159 @@
+package devent
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { order = append(order, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Errorf("fired %d events, want 5", len(order))
+	}
+	if e.Now() != 5 {
+		t.Errorf("final time = %v, want 5", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFireInSchedulingOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break broken: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.At(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Errorf("times = %v, want [10 15]", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Error("Cancelled() should be true")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelInterleaved(t *testing.T) {
+	var e Engine
+	var fired []string
+	a := e.At(1, func() { fired = append(fired, "a") })
+	e.At(2, func() { fired = append(fired, "b") })
+	c := e.At(3, func() { fired = append(fired, "c") })
+	_ = a
+	// Cancel c from within b.
+	e.At(2.5, func() { c.Cancel() })
+	e.Run()
+	want := []string{"a", "b"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want events at 1..3", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 || e.Now() != 10 {
+		t.Errorf("after second RunUntil: fired=%v now=%v", fired, e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+// Property: an arbitrary schedule of events always fires in non-decreasing
+// time order and the clock never goes backwards.
+func TestMonotonicClock(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := rand.New(rand.NewPCG(seed, 3))
+		var e Engine
+		last := -1.0
+		ok := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			e.After(r.Float64()*10, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				if depth > 0 && r.Float64() < 0.3 {
+					schedule(depth - 1)
+				}
+			})
+		}
+		for i := 0; i < n; i++ {
+			schedule(2)
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/report"
+)
+
+func TestAblationSuiteSmall(t *testing.T) {
+	renderToString := func(tab *report.Table, err error) string {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	const tasks = 60
+	out := renderToString(AblateConsumptionModel(1, "normal", tasks))
+	for _, want := range []string{"ramp-early", "ramp-linear", "peak-at-end", "peak-immediate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("consumption ablation missing %q:\n%s", want, out)
+		}
+	}
+
+	out = renderToString(AblateExploration(1, "bimodal", tasks, []int{1, 10}))
+	if !strings.Contains(out, "10") {
+		t.Errorf("exploration ablation malformed:\n%s", out)
+	}
+
+	out = renderToString(AblateMaxBuckets(1, "trimodal", tasks, []int{1, 5}))
+	if strings.Count(out, "%") < 2 {
+		t.Errorf("bucket-cap ablation malformed:\n%s", out)
+	}
+
+	out = renderToString(AblateSignificance(1, "trimodal", tasks))
+	if !strings.Contains(out, "task-id") || !strings.Contains(out, "flat") {
+		t.Errorf("significance ablation malformed:\n%s", out)
+	}
+
+	out = renderToString(AblatePlacement(1, "uniform", tasks))
+	for _, want := range []string{"first-fit", "worst-fit", "best-fit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("placement ablation missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "locality") {
+		t.Error("placement ablation should skip locality without a data layer")
+	}
+}
+
+func TestAblateCategoryIsolationDirection(t *testing.T) {
+	// The paper's Section III-B argument must hold: per-category beats
+	// category-blind on ColmenaXTB. Extract the two percentages.
+	tab, err := AblateCategoryIsolation(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return v
+	}
+	perCat := parse(tab.Rows[0][1])
+	blind := parse(tab.Rows[1][1])
+	if perCat <= blind {
+		t.Errorf("per-category %.1f%% should beat category-blind %.1f%%", perCat, blind)
+	}
+}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/resources"
+)
+
+func TestRunGridWithExtensionAlgorithms(t *testing.T) {
+	opts := Options{
+		Seed:       5,
+		Tasks:      50,
+		Workloads:  []string{"bimodal"},
+		Algorithms: allocator.ExtendedNames(),
+	}
+	cells, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(allocator.ExtendedNames()) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	seen := map[allocator.Name]bool{}
+	for _, c := range cells {
+		seen[c.Algorithm] = true
+		for _, k := range resources.AllocatedKinds() {
+			if awe := c.AWE(k); awe <= 0 || awe > 1 {
+				t.Errorf("%s: AWE(%s) = %v", c.Algorithm, k, awe)
+			}
+		}
+	}
+	if !seen[allocator.KMeans] || !seen[allocator.Percentile] {
+		t.Error("extension algorithms missing from the grid")
+	}
+	// The Figure 5 table renders the extension columns too.
+	tables := Fig5Tables(cells, opts)
+	if len(tables) != 3 {
+		t.Fatal("missing tables")
+	}
+	hdr := tables[0].Header
+	if hdr[len(hdr)-1] != string(allocator.Percentile) {
+		t.Errorf("extension column missing: %v", hdr)
+	}
+}

@@ -1,0 +1,220 @@
+// Package harness reproduces the paper's evaluation (Section V): it runs
+// the experiment grids behind every figure and table and renders the same
+// rows/series the paper reports.
+//
+//	Figure 2  — per-task consumption series of ColmenaXTB and TopEFT
+//	Figure 3  — worked example of Greedy Bucketing on an N(8,2) GB sample
+//	Figure 4  — memory series of the five synthetic workflows
+//	Figure 5  — Absolute Workflow Efficiency, 7 workflows x 7 algorithms
+//	Figure 6  — waste split into internal fragmentation vs failed
+//	            allocation, 7 workflows x 6 algorithms
+//	Table I   — time to recompute a bucketing state and derive an
+//	            allocation at 10..5000 records
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/report"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/workflow"
+)
+
+// Options configure an experiment grid run.
+type Options struct {
+	// Seed drives workload generation, allocator choices, and the pool.
+	Seed uint64
+	// Tasks scales the synthetic workloads (0 = the paper's 1000).
+	Tasks int
+	// Model is the task consumption profile (zero value = RampEarly).
+	Model sim.ConsumptionModel
+	// UseDES runs the full discrete-event simulation on an opportunistic
+	// pool instead of the fast sequential driver. AWE is pool-independent,
+	// so both drivers answer the paper's questions; the DES additionally
+	// exercises placement, concurrency, and churn.
+	UseDES bool
+	// Pool is the worker pool model for DES runs (nil = the paper pool).
+	Pool opportunistic.Model
+	// Workloads restricts the workload set (nil = all seven).
+	Workloads []string
+	// Algorithms restricts the algorithm set (nil = all seven).
+	Algorithms []allocator.Name
+	// AllocatorConfig overrides allocator settings (Seed is managed by the
+	// harness).
+	AllocatorConfig allocator.Config
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Workloads) == 0 {
+		o.Workloads = workflow.Names()
+	}
+	if len(o.Algorithms) == 0 {
+		o.Algorithms = allocator.Names()
+	}
+	if o.Pool == nil {
+		o.Pool = opportunistic.PaperPool()
+	}
+	return o
+}
+
+// Cell is the outcome of one (workload, algorithm) run.
+type Cell struct {
+	Workload  string
+	Algorithm allocator.Name
+	Summary   metrics.Summary
+	Makespan  float64
+	Elapsed   time.Duration
+}
+
+// AWE returns the cell's efficiency for a kind, or 0 if the kind is absent.
+func (c Cell) AWE(k resources.Kind) float64 {
+	for _, ks := range c.Summary.PerKind {
+		if ks.Kind == k.String() {
+			return ks.AWE
+		}
+	}
+	return 0
+}
+
+// Kind returns the cell's per-kind summary.
+func (c Cell) Kind(k resources.Kind) metrics.KindSummary {
+	for _, ks := range c.Summary.PerKind {
+		if ks.Kind == k.String() {
+			return ks
+		}
+	}
+	return metrics.KindSummary{}
+}
+
+// RunGrid executes every (workload, algorithm) pair of the options and
+// returns one cell per pair, in workload-major order. This is the engine
+// behind Figures 5 and 6.
+func RunGrid(opts Options) ([]Cell, error) {
+	opts = opts.withDefaults()
+	var cells []Cell
+	for _, wfName := range opts.Workloads {
+		w, err := workflow.ByName(wfName, opts.Tasks, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range opts.Algorithms {
+			cfg := opts.AllocatorConfig
+			cfg.Seed = opts.Seed ^ uint64(len(cells)+1)
+			pol, err := allocator.New(alg, cfg)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			var res *sim.Result
+			if opts.UseDES {
+				res, err = sim.Run(sim.Config{
+					Workflow: w,
+					Policy:   pol,
+					Pool:     opts.Pool,
+					PoolSeed: opts.Seed,
+					Model:    opts.Model,
+				})
+			} else {
+				res, err = sim.RunSequential(w, pol, opts.Model, 0)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", wfName, alg, err)
+			}
+			cells = append(cells, Cell{
+				Workload:  wfName,
+				Algorithm: alg,
+				Summary:   res.Summary(),
+				Makespan:  res.Makespan,
+				Elapsed:   time.Since(start),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Fig5Tables renders the Figure 5 content: one table per resource kind with
+// a row per workload and a column per algorithm, each cell the AWE
+// percentage.
+func Fig5Tables(cells []Cell, opts Options) []*report.Table {
+	opts = opts.withDefaults()
+	var tables []*report.Table
+	for _, k := range resources.AllocatedKinds() {
+		header := append([]string{"workflow"}, algorithmHeader(opts.Algorithms)...)
+		tab := report.New(fmt.Sprintf("Figure 5 — Absolute Workflow Efficiency (%s)", k), header...)
+		for _, wf := range opts.Workloads {
+			row := []any{wf}
+			for _, alg := range opts.Algorithms {
+				if c, ok := findCell(cells, wf, alg); ok {
+					row = append(row, report.Percent(c.AWE(k)))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			tab.AddRow(row...)
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// Fig6Tables renders the Figure 6 content: per resource kind, the waste of
+// every workflow under every predictive algorithm (Whole Machine omitted, as
+// in the paper), split into internal fragmentation and failed allocation.
+func Fig6Tables(cells []Cell, opts Options) []*report.Table {
+	opts = opts.withDefaults()
+	algs := make([]allocator.Name, 0, len(opts.Algorithms))
+	for _, a := range opts.Algorithms {
+		if a != allocator.WholeMachine {
+			algs = append(algs, a)
+		}
+	}
+	var tables []*report.Table
+	for _, k := range resources.AllocatedKinds() {
+		tab := report.New(
+			fmt.Sprintf("Figure 6 — Resource Waste (%s): internal fragmentation + failed allocation", k),
+			"workflow", "algorithm", "internal_frag", "failed_alloc", "total_waste", "failed_share")
+		for _, wf := range opts.Workloads {
+			for _, alg := range algs {
+				c, ok := findCell(cells, wf, alg)
+				if !ok {
+					continue
+				}
+				ks := c.Kind(k)
+				total := ks.InternalFragmentation + ks.FailedAllocation
+				share := 0.0
+				if total > 0 {
+					share = ks.FailedAllocation / total
+				}
+				tab.AddRow(wf, string(alg),
+					fmt.Sprintf("%.3g", ks.InternalFragmentation),
+					fmt.Sprintf("%.3g", ks.FailedAllocation),
+					fmt.Sprintf("%.3g", total),
+					report.Percent(share))
+			}
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+func algorithmHeader(algs []allocator.Name) []string {
+	out := make([]string, len(algs))
+	for i, a := range algs {
+		out[i] = string(a)
+	}
+	return out
+}
+
+func findCell(cells []Cell, wf string, alg allocator.Name) (Cell, bool) {
+	for _, c := range cells {
+		if c.Workload == wf && c.Algorithm == alg {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}

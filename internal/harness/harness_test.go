@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+func smallOpts() Options {
+	return Options{
+		Seed:       1,
+		Tasks:      60,
+		Workloads:  []string{"normal", "bimodal"},
+		Algorithms: []allocator.Name{allocator.WholeMachine, allocator.MaxSeen, allocator.Exhaustive},
+	}
+}
+
+func TestRunGridShape(t *testing.T) {
+	cells, err := RunGrid(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	for _, c := range cells {
+		if c.Summary.Tasks != 60 {
+			t.Errorf("%s/%s: %d tasks", c.Workload, c.Algorithm, c.Summary.Tasks)
+		}
+		for _, k := range resources.AllocatedKinds() {
+			if awe := c.AWE(k); awe <= 0 || awe > 1 {
+				t.Errorf("%s/%s: AWE(%s) = %v", c.Workload, c.Algorithm, k, awe)
+			}
+		}
+	}
+}
+
+func TestRunGridDES(t *testing.T) {
+	opts := smallOpts()
+	opts.UseDES = true
+	cells, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+}
+
+func TestRunGridDefaultsCoverEverything(t *testing.T) {
+	opts := Options{Seed: 2, Tasks: 30, Workloads: []string{"uniform"}}
+	cells, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(allocator.Names()) {
+		t.Errorf("default algorithms incomplete: %d cells", len(cells))
+	}
+}
+
+func TestRunGridUnknownWorkload(t *testing.T) {
+	if _, err := RunGrid(Options{Workloads: []string{"bogus"}}); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestFig5Tables(t *testing.T) {
+	opts := smallOpts()
+	cells, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := Fig5Tables(cells, opts)
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want one per allocated kind", len(tables))
+	}
+	var buf bytes.Buffer
+	if err := tables[0].Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "normal") || !strings.Contains(out, "exhaustive-bucketing") {
+		t.Errorf("table missing rows/columns:\n%s", out)
+	}
+	if !strings.Contains(out, "%") {
+		t.Error("AWE cells should be percentages")
+	}
+}
+
+func TestFig6TablesExcludeWholeMachine(t *testing.T) {
+	opts := smallOpts()
+	cells, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := Fig6Tables(cells, opts)
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	var buf bytes.Buffer
+	if err := tables[1].Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "whole-machine") {
+		t.Error("Figure 6 should omit the whole-machine baseline")
+	}
+	if !strings.Contains(buf.String(), "max-seen") {
+		t.Error("Figure 6 missing predictive algorithms")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(3, 2)
+	if len(rows) != 2*len(Table1Sizes) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byAlg := map[string][]Table1Row{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = append(byAlg[r.Algorithm], r)
+		if r.Mean <= 0 {
+			t.Errorf("%s@%d: non-positive mean %v", r.Algorithm, r.Records, r.Mean)
+		}
+		if r.Buckets < 1 {
+			t.Errorf("%s@%d: no buckets", r.Algorithm, r.Records)
+		}
+	}
+	// The paper's headline: exhaustive stays cheap while greedy grows
+	// superlinearly; at 5000 records greedy costs much more than
+	// exhaustive.
+	g := byAlg["greedy"][len(Table1Sizes)-1]
+	e := byAlg["exhaustive"][len(Table1Sizes)-1]
+	if g.Records != 5000 || e.Records != 5000 {
+		t.Fatal("row ordering unexpected")
+	}
+	if g.Mean < e.Mean {
+		t.Errorf("greedy (%v) should cost more than exhaustive (%v) at 5000 records", g.Mean, e.Mean)
+	}
+	var buf bytes.Buffer
+	if err := Table1Report(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "greedy") || !strings.Contains(buf.String(), "5000") {
+		t.Errorf("report missing content:\n%s", buf.String())
+	}
+}
+
+func TestFig2Series(t *testing.T) {
+	series := Fig2Series(4)
+	if len(series["colmena"]) != workflow.ColmenaEvaluateTasks+workflow.ColmenaComputeTasks {
+		t.Errorf("colmena series length %d", len(series["colmena"]))
+	}
+	if len(series["topeft"]) == 0 {
+		t.Error("topeft series empty")
+	}
+}
+
+func TestFig4Series(t *testing.T) {
+	series, err := Fig4Series(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for name, pts := range series {
+		if len(pts) != 100 {
+			t.Errorf("%s: %d points", name, len(pts))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series["normal"]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,category") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestFig3Example(t *testing.T) {
+	tab := Fig3Example(6, 500)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "greedy") || !strings.Contains(out, "exhaustive") {
+		t.Errorf("example missing algorithms:\n%s", out)
+	}
+}

@@ -1,0 +1,116 @@
+package opportunistic
+
+import (
+	"sort"
+	"testing"
+)
+
+func sorted(arr []Arrival) bool {
+	return sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+}
+
+func TestStatic(t *testing.T) {
+	s := Static{N: 20}
+	arr := s.Schedule(1)
+	if len(arr) != 20 {
+		t.Fatalf("got %d arrivals", len(arr))
+	}
+	for _, a := range arr {
+		if a.At != 0 || a.Lifetime != 0 {
+			t.Fatalf("static arrival = %+v, want immediate and permanent", a)
+		}
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBackfillRampsFromMinToMax(t *testing.T) {
+	b := Backfill{Min: 20, Max: 50, Interval: 120}
+	arr := b.Schedule(2)
+	if len(arr) != 50 {
+		t.Fatalf("got %d arrivals, want 50", len(arr))
+	}
+	immediate := 0
+	for _, a := range arr {
+		if a.At == 0 {
+			immediate++
+		}
+		if a.Lifetime != 0 {
+			t.Fatal("backfill workers should not have leases")
+		}
+	}
+	if immediate != 20 {
+		t.Errorf("%d immediate workers, want 20", immediate)
+	}
+	if !sorted(arr) {
+		t.Error("arrivals not sorted")
+	}
+	// Later arrivals spread out in time.
+	if arr[49].At <= arr[20].At {
+		t.Error("ramp-up has no temporal spread")
+	}
+}
+
+func TestBackfillDeterministic(t *testing.T) {
+	b := Backfill{Min: 5, Max: 15, Interval: 60}
+	a1, a2 := b.Schedule(7), b.Schedule(7)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}
+
+func TestChurn(t *testing.T) {
+	c := Churn{Initial: 10, MeanLifetime: 1800, MeanInterval: 300, Horizon: 7200}
+	arr := c.Schedule(3)
+	if len(arr) < 10 {
+		t.Fatalf("got %d arrivals", len(arr))
+	}
+	if !sorted(arr) {
+		t.Error("arrivals not sorted")
+	}
+	for _, a := range arr {
+		if a.Lifetime < 60 {
+			t.Fatalf("lease %v below the 60 s floor", a.Lifetime)
+		}
+		if a.At > c.Horizon {
+			t.Fatalf("arrival at %v beyond horizon", a.At)
+		}
+	}
+	replacements := 0
+	for _, a := range arr {
+		if a.At > 0 {
+			replacements++
+		}
+	}
+	if replacements == 0 {
+		t.Error("no replacement arrivals within the horizon")
+	}
+}
+
+func TestChurnKeepLastAlive(t *testing.T) {
+	c := Churn{Initial: 2, MeanLifetime: 600, MeanInterval: 600, Horizon: 3600, KeepLastAlive: true}
+	arr := c.Schedule(4)
+	last := arr[len(arr)-1]
+	if last.Lifetime != 0 {
+		t.Errorf("last arrival lease = %v, want permanent", last.Lifetime)
+	}
+}
+
+func TestPaperPool(t *testing.T) {
+	arr := PaperPool().Schedule(5)
+	if len(arr) != 50 {
+		t.Errorf("paper pool has %d workers, want 50", len(arr))
+	}
+	immediate := 0
+	for _, a := range arr {
+		if a.At == 0 {
+			immediate++
+		}
+	}
+	if immediate != 20 {
+		t.Errorf("paper pool starts with %d workers, want 20", immediate)
+	}
+}

@@ -1,0 +1,158 @@
+// Package plot renders the evaluation's figures as terminal graphics:
+// horizontal bar charts for the AWE and waste comparisons (Figures 5/6) and
+// compact scatter strips for the consumption series (Figures 2/4). Pure
+// text output, suitable for logs and CI.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters, one per
+// line, with the numeric value appended. Max is the full-scale value; zero
+// means the largest bar.
+type BarChart struct {
+	Title  string
+	Bars   []Bar
+	Width  int     // bar area width in characters (default 40)
+	Max    float64 // full scale (default: max value)
+	Unit   string  // appended to the printed value
+	Digits int     // decimal places for the value (default 1)
+}
+
+// Render writes the chart.
+func (c BarChart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	digits := c.Digits
+	if digits == 0 {
+		digits = 1
+	}
+	max := c.Max
+	if max <= 0 {
+		for _, b := range c.Bars {
+			max = math.Max(max, b.Value)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := int(math.Round(b.Value / max * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.*f%s\n",
+			labelW, b.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n),
+			digits, b.Value, c.Unit)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Strip renders a value series as a fixed-height character strip: each
+// column is one (or more) samples, with the row chosen by the sample's
+// magnitude. It is the terminal rendition of the Figure 2/4 scatter plots,
+// showing clusters and phase changes at a glance.
+type Strip struct {
+	Title  string
+	Values []float64
+	Height int // rows (default 8)
+	Width  int // columns (default 72); values are downsampled to fit
+}
+
+// Render writes the strip with a max/min scale annotation.
+func (s Strip) Render(w io.Writer) error {
+	height := s.Height
+	if height <= 0 {
+		height = 8
+	}
+	width := s.Width
+	if width <= 0 {
+		width = 72
+	}
+	if len(s.Values) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(empty series)\n", s.Title)
+		return err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s.Values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Downsample into columns; each column shows every row any of its
+	// samples lands in, so bimodal columns show two marks.
+	cols := width
+	if len(s.Values) < cols {
+		cols = len(s.Values)
+	}
+	grid := make([][]bool, height)
+	for r := range grid {
+		grid[r] = make([]bool, cols)
+	}
+	for i, v := range s.Values {
+		col := i * cols / len(s.Values)
+		row := int((v - lo) / (hi - lo) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[height-1-row][col] = true
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", s.Title)
+	}
+	for r, rowCells := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.4g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.4g", lo)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		for _, on := range rowCells {
+			if on {
+				sb.WriteByte('*')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%8s +%s> task order (%d tasks)\n", "", strings.Repeat("-", cols), len(s.Values))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,111 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := BarChart{
+		Title: "AWE",
+		Bars: []Bar{
+			{Label: "whole-machine", Value: 12.1},
+			{Label: "exhaustive", Value: 65.8},
+		},
+		Width: 20,
+		Max:   100,
+		Unit:  "%",
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "12.1%") || !strings.Contains(lines[2], "65.8%") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// Bar lengths proportional: 12.1/100*20 ≈ 2, 65.8/100*20 ≈ 13.
+	if strings.Count(lines[1], "#") != 2 {
+		t.Errorf("short bar = %d hashes", strings.Count(lines[1], "#"))
+	}
+	if strings.Count(lines[2], "#") != 13 {
+		t.Errorf("long bar = %d hashes", strings.Count(lines[2], "#"))
+	}
+}
+
+func TestBarChartDefaultsAndClamping(t *testing.T) {
+	c := BarChart{Bars: []Bar{{Label: "a", Value: -5}, {Label: "b", Value: 10}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if strings.Count(lines[0], "#") != 0 {
+		t.Error("negative value should render as empty bar")
+	}
+	if strings.Count(lines[1], "#") != 40 {
+		t.Error("max value should fill the default width")
+	}
+	// All-zero chart must not divide by zero.
+	z := BarChart{Bars: []Bar{{Label: "z", Value: 0}}}
+	if err := z.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripShowsPhases(t *testing.T) {
+	// A phased series: low plateau then high plateau. The first half of
+	// the strip should mark the bottom row, the second half the top row.
+	var values []float64
+	for i := 0; i < 50; i++ {
+		values = append(values, 100)
+	}
+	for i := 0; i < 50; i++ {
+		values = append(values, 900)
+	}
+	s := Strip{Title: "phases", Values: values, Height: 4, Width: 10}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	top := lines[1]    // first grid row (high values)
+	bottom := lines[4] // last grid row (low values)
+	if !strings.Contains(top[10:], "*") {
+		t.Errorf("top row empty: %q", top)
+	}
+	if !strings.Contains(bottom[:15], "*") {
+		t.Errorf("bottom row empty: %q", bottom)
+	}
+	if !strings.Contains(lines[0], "phases") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(lines[len(lines)-1], "100 tasks") {
+		t.Errorf("axis annotation missing: %q", lines[len(lines)-1])
+	}
+}
+
+func TestStripEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Strip{Title: "empty"}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty series") {
+		t.Error("empty series not reported")
+	}
+	buf.Reset()
+	// Constant series: must not divide by zero.
+	if err := (Strip{Values: []float64{5, 5, 5}}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Fewer values than columns.
+	buf.Reset()
+	if err := (Strip{Values: []float64{1, 2, 3}, Width: 50}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

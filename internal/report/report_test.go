@@ -1,0 +1,77 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tab := New("Demo", "workflow", "awe")
+	tab.AddRow("normal", 0.71234)
+	tab.AddRow("exponential", Percent(0.485))
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "workflow") || !strings.Contains(lines[1], "awe") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(out, "48.5%") {
+		t.Errorf("percent cell missing: %s", out)
+	}
+	if !strings.Contains(out, "0.7123") {
+		t.Errorf("float cell missing: %s", out)
+	}
+	// Columns aligned: "awe" starts at the same offset in header and rows.
+	hIdx := strings.Index(lines[1], "awe")
+	rIdx := strings.Index(lines[3], "0.7123")
+	if hIdx != rIdx {
+		t.Errorf("misaligned columns: header offset %d, row offset %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestRenderWithoutTitle(t *testing.T) {
+	tab := New("", "a")
+	tab.AddRow(1)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Error("leading blank line without title")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := New("ignored", "x", "y")
+	tab.AddRow("a", 1)
+	tab.AddRow("b", 2)
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\na,1\nb,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestAddRowTypes(t *testing.T) {
+	tab := New("", "v")
+	tab.AddRow(42)
+	tab.AddRow(int64(7))
+	tab.AddRow("s")
+	tab.AddRow(0.5)
+	if tab.Rows[0][0] != "42" || tab.Rows[2][0] != "s" || tab.Rows[3][0] != "0.5" {
+		t.Errorf("rows = %v", tab.Rows)
+	}
+}

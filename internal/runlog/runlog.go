@@ -1,0 +1,199 @@
+// Package runlog reads and writes run logs: a JSON-lines record of one
+// workflow execution — which algorithm allocated it, every attempt of every
+// task, and the resulting metrics. The paper's artifact is a collection of
+// such logs ("All logs are available at ..."); this package makes the
+// reproduction's runs equally inspectable and re-analyzable: a log can be
+// replayed into a metrics accumulator without re-running the simulation.
+//
+// Format: the first line is a header object, followed by one object per
+// task outcome, terminated by a footer carrying the summary. Every line is
+// independent JSON, so logs stream and concatenate naturally.
+package runlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+)
+
+// Header identifies a run.
+type Header struct {
+	Kind      string `json:"kind"` // always "header"
+	Workload  string `json:"workload"`
+	Algorithm string `json:"algorithm"`
+	Seed      uint64 `json:"seed"`
+	Tasks     int    `json:"tasks"`
+}
+
+// AttemptRecord is one execution attempt in the log.
+type AttemptRecord struct {
+	Cores    float64 `json:"cores"`
+	MemoryMB float64 `json:"memory_mb"`
+	DiskMB   float64 `json:"disk_mb"`
+	Duration float64 `json:"duration_s"`
+	Status   string  `json:"status"`
+}
+
+// TaskRecord is one task outcome in the log.
+type TaskRecord struct {
+	Kind     string          `json:"kind"` // always "task"
+	ID       int             `json:"id"`
+	Category string          `json:"category"`
+	Cores    float64         `json:"cores"`
+	MemoryMB float64         `json:"memory_mb"`
+	DiskMB   float64         `json:"disk_mb"`
+	Runtime  float64         `json:"runtime_s"`
+	Attempts []AttemptRecord `json:"attempts"`
+}
+
+// Footer carries the run summary.
+type Footer struct {
+	Kind    string          `json:"kind"` // always "footer"
+	Summary metrics.Summary `json:"summary"`
+}
+
+// Write serializes a run result as a log.
+func Write(w io.Writer, hdr Header, res *sim.Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr.Kind = "header"
+	hdr.Tasks = len(res.Outcomes)
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, o := range res.Outcomes {
+		tr := TaskRecord{
+			Kind:     "task",
+			ID:       o.TaskID,
+			Category: o.Category,
+			Cores:    o.Peak.Get(resources.Cores),
+			MemoryMB: o.Peak.Get(resources.Memory),
+			DiskMB:   o.Peak.Get(resources.Disk),
+			Runtime:  o.Runtime,
+		}
+		for _, a := range o.Attempts {
+			tr.Attempts = append(tr.Attempts, AttemptRecord{
+				Cores:    a.Alloc.Get(resources.Cores),
+				MemoryMB: a.Alloc.Get(resources.Memory),
+				DiskMB:   a.Alloc.Get(resources.Disk),
+				Duration: a.Duration,
+				Status:   a.Status.String(),
+			})
+		}
+		if err := enc.Encode(tr); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(Footer{Kind: "footer", Summary: res.Acc.Summarize()}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Log is a parsed run log.
+type Log struct {
+	Header   Header
+	Outcomes []metrics.TaskOutcome
+	Footer   *Footer // nil when the log was truncated before the footer
+}
+
+// Read parses a log. A missing footer is tolerated (truncated logs can
+// still be analyzed); any malformed line is an error.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var log Log
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+		}
+		switch probe.Kind {
+		case "header":
+			if err := json.Unmarshal(sc.Bytes(), &log.Header); err != nil {
+				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+			}
+			sawHeader = true
+		case "task":
+			var tr TaskRecord
+			if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+			}
+			log.Outcomes = append(log.Outcomes, tr.outcome())
+		case "footer":
+			var f Footer
+			if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+			}
+			log.Footer = &f
+		default:
+			return nil, fmt.Errorf("runlog: line %d: unknown kind %q", line, probe.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("runlog: missing header")
+	}
+	return &log, nil
+}
+
+func (tr TaskRecord) outcome() metrics.TaskOutcome {
+	o := metrics.TaskOutcome{
+		TaskID:   tr.ID,
+		Category: tr.Category,
+		Peak:     resources.New(tr.Cores, tr.MemoryMB, tr.DiskMB, tr.Runtime),
+		Runtime:  tr.Runtime,
+	}
+	for _, a := range tr.Attempts {
+		status := metrics.Success
+		switch a.Status {
+		case metrics.Exhausted.String():
+			status = metrics.Exhausted
+		case metrics.Evicted.String():
+			status = metrics.Evicted
+		}
+		o.Attempts = append(o.Attempts, metrics.Attempt{
+			Alloc:    resources.New(a.Cores, a.MemoryMB, a.DiskMB, resources.Unlimited),
+			Duration: a.Duration,
+			Status:   status,
+		})
+	}
+	return o
+}
+
+// Replay folds a parsed log into a fresh accumulator, recomputing every
+// metric from the raw attempts (rather than trusting the footer).
+func Replay(log *Log) *metrics.Accumulator {
+	var acc metrics.Accumulator
+	for _, o := range log.Outcomes {
+		acc.Add(o)
+	}
+	return &acc
+}
+
+// ReplayByCategory folds a parsed log into one accumulator per task
+// category, for per-category efficiency breakdowns.
+func ReplayByCategory(log *Log) map[string]*metrics.Accumulator {
+	out := make(map[string]*metrics.Accumulator)
+	for _, o := range log.Outcomes {
+		acc, ok := out[o.Category]
+		if !ok {
+			acc = &metrics.Accumulator{}
+			out[o.Category] = acc
+		}
+		acc.Add(o)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package runlog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/workflow"
+)
+
+func sampleRun(t *testing.T) (*sim.Result, Header) {
+	t.Helper()
+	w, err := workflow.ByName("bimodal", 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := allocator.MustNew(allocator.Greedy, allocator.Config{Seed: 2})
+	res, err := sim.Run(sim.Config{Workflow: w, Policy: pol, Pool: opportunistic.Static{N: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, Header{Workload: "bimodal", Algorithm: pol.Name(), Seed: 1}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	res, hdr := sampleRun(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, hdr, res); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header.Workload != "bimodal" || log.Header.Algorithm != "greedy-bucketing" {
+		t.Errorf("header = %+v", log.Header)
+	}
+	if log.Header.Tasks != 80 || len(log.Outcomes) != 80 {
+		t.Fatalf("tasks = %d / %d", log.Header.Tasks, len(log.Outcomes))
+	}
+	if log.Footer == nil {
+		t.Fatal("missing footer")
+	}
+
+	// Replaying the raw attempts must reproduce the footer's metrics.
+	acc := Replay(log)
+	for _, k := range resources.AllocatedKinds() {
+		orig := res.Acc.AWE(k)
+		replayed := acc.AWE(k)
+		if math.Abs(orig-replayed) > 1e-9 {
+			t.Errorf("AWE(%s): original %v, replayed %v", k, orig, replayed)
+		}
+		if math.Abs(res.Acc.Waste(k)-acc.Waste(k)) > 1e-6 {
+			t.Errorf("waste(%s) mismatch", k)
+		}
+	}
+	if acc.Retries() != res.Acc.Retries() {
+		t.Errorf("retries: %d vs %d", acc.Retries(), res.Acc.Retries())
+	}
+}
+
+func TestReadTruncatedLog(t *testing.T) {
+	res, hdr := sampleRun(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, hdr, res); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the footer line.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n")
+	log, err := Read(strings.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Footer != nil {
+		t.Error("truncated log should have no footer")
+	}
+	if len(log.Outcomes) != 80 {
+		t.Errorf("outcomes = %d", len(log.Outcomes))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no header":    `{"kind":"task","id":1}`,
+		"bad json":     "{nope",
+		"unknown kind": `{"kind":"mystery"}`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	tr := TaskRecord{
+		ID: 1, Category: "c", Cores: 1, MemoryMB: 100, DiskMB: 10, Runtime: 5,
+		Attempts: []AttemptRecord{
+			{Cores: 1, MemoryMB: 50, DiskMB: 10, Duration: 2, Status: "exhausted"},
+			{Cores: 1, MemoryMB: 100, DiskMB: 10, Duration: 1, Status: "evicted"},
+			{Cores: 1, MemoryMB: 100, DiskMB: 10, Duration: 5, Status: "success"},
+		},
+	}
+	o := tr.outcome()
+	if o.Retries() != 1 {
+		t.Errorf("retries = %d", o.Retries())
+	}
+	if o.EvictedTime() != 1 {
+		t.Errorf("evicted time = %v", o.EvictedTime())
+	}
+	if o.FinalAlloc().Get(resources.Memory) != 100 {
+		t.Errorf("final alloc = %v", o.FinalAlloc())
+	}
+}

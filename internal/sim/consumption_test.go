@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+
+	"dynalloc/internal/resources"
+)
+
+func vec(c, m, d, t float64) resources.Vector { return resources.New(c, m, d, t) }
+
+func kindsEqual(got []resources.Kind, want ...resources.Kind) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConsumptionModelString(t *testing.T) {
+	for _, m := range []ConsumptionModel{RampLinear, PeakAtEnd, PeakImmediate} {
+		parsed, err := ParseConsumptionModel(m.String())
+		if err != nil || parsed != m {
+			t.Errorf("round-trip of %v failed: %v, %v", m, parsed, err)
+		}
+	}
+	if _, err := ParseConsumptionModel("bogus"); err == nil {
+		t.Error("bogus model should fail to parse")
+	}
+}
+
+func TestAttemptResultSuccess(t *testing.T) {
+	peak := vec(1, 400, 100, 0)
+	alloc := vec(1, 400, 100, resources.Unlimited) // a == c succeeds (c <= c_a)
+	for _, m := range []ConsumptionModel{RampLinear, PeakAtEnd, PeakImmediate} {
+		dur, exceeded := EvaluateAttempt(m, peak, 100, alloc)
+		if exceeded != nil || dur != 100 {
+			t.Errorf("%v: dur=%v exceeded=%v, want success at 100", m, dur, exceeded)
+		}
+	}
+}
+
+func TestAttemptResultRampLinearKillTime(t *testing.T) {
+	// Memory peak 400, allocated 200: linear ramp crosses at t·(200/400).
+	peak := vec(0.5, 400, 10, 0)
+	alloc := vec(1, 200, 1024, resources.Unlimited)
+	dur, exceeded := EvaluateAttempt(RampLinear, peak, 100, alloc)
+	if dur != 50 {
+		t.Errorf("kill time = %v, want 50", dur)
+	}
+	if !kindsEqual(exceeded, resources.Memory) {
+		t.Errorf("exceeded = %v, want [memory]", exceeded)
+	}
+}
+
+func TestAttemptResultRampLinearEarliestKindWins(t *testing.T) {
+	// Cores cross at 50 (peak 2, alloc 1), memory at 75 (peak 400, alloc
+	// 300): the monitor reports only the first crossing.
+	peak := vec(2, 400, 10, 0)
+	alloc := vec(1, 300, 1024, resources.Unlimited)
+	dur, exceeded := EvaluateAttempt(RampLinear, peak, 100, alloc)
+	if dur != 50 {
+		t.Errorf("kill time = %v, want 50", dur)
+	}
+	if !kindsEqual(exceeded, resources.Cores) {
+		t.Errorf("exceeded = %v, want [cores]", exceeded)
+	}
+}
+
+func TestAttemptResultRampLinearSimultaneousCrossing(t *testing.T) {
+	// Both kinds allocated exactly half their peak cross together.
+	peak := vec(2, 400, 10, 0)
+	alloc := vec(1, 200, 1024, resources.Unlimited)
+	dur, exceeded := EvaluateAttempt(RampLinear, peak, 100, alloc)
+	if dur != 50 {
+		t.Errorf("kill time = %v, want 50", dur)
+	}
+	if !kindsEqual(exceeded, resources.Cores, resources.Memory) {
+		t.Errorf("exceeded = %v, want [cores memory]", exceeded)
+	}
+}
+
+func TestAttemptResultTimeExhaustion(t *testing.T) {
+	peak := vec(1, 100, 10, 0)
+	alloc := vec(2, 200, 100, 60) // time allocation below the 100 s runtime
+	dur, exceeded := EvaluateAttempt(RampLinear, peak, 100, alloc)
+	if dur != 60 {
+		t.Errorf("kill time = %v, want 60 (time allocation elapses)", dur)
+	}
+	if !kindsEqual(exceeded, resources.Time) {
+		t.Errorf("exceeded = %v, want [time]", exceeded)
+	}
+}
+
+func TestAttemptResultPeakAtEnd(t *testing.T) {
+	peak := vec(2, 400, 10, 0)
+	alloc := vec(1, 200, 1024, resources.Unlimited)
+	dur, exceeded := EvaluateAttempt(PeakAtEnd, peak, 100, alloc)
+	if dur != 100 {
+		t.Errorf("duration = %v, want the full runtime", dur)
+	}
+	if !kindsEqual(exceeded, resources.Cores, resources.Memory) {
+		t.Errorf("exceeded = %v, want every over-consumed kind", exceeded)
+	}
+}
+
+func TestAttemptResultPeakImmediate(t *testing.T) {
+	peak := vec(2, 400, 10, 0)
+	alloc := vec(1, 200, 1024, resources.Unlimited)
+	dur, exceeded := EvaluateAttempt(PeakImmediate, peak, 100, alloc)
+	if dur != 0 {
+		t.Errorf("duration = %v, want 0", dur)
+	}
+	if len(exceeded) != 2 {
+		t.Errorf("exceeded = %v", exceeded)
+	}
+}
+
+func TestAttemptResultZeroPeakNeverExceeds(t *testing.T) {
+	peak := vec(0, 0, 0, 0)
+	alloc := vec(1, 1, 1, resources.Unlimited)
+	dur, exceeded := EvaluateAttempt(RampLinear, peak, 10, alloc)
+	if exceeded != nil || dur != 10 {
+		t.Errorf("zero-peak task should always succeed: dur=%v exceeded=%v", dur, exceeded)
+	}
+}

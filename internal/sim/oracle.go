@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+// Oracle is the unrealizable optimal policy of Section II-C: it allocates
+// every task exactly its peak consumption, achieving zero resource waste and
+// AWE = 1. It exists only in simulation — where the hidden 4-tuple is
+// visible — and anchors the test suite: every realizable policy must be
+// dominated by it.
+type Oracle struct {
+	byID map[int]resources.Vector
+}
+
+// NewOracle builds the oracle for a workload.
+func NewOracle(w *workflow.Workflow) *Oracle {
+	o := &Oracle{byID: make(map[int]resources.Vector, len(w.Tasks))}
+	for _, t := range w.Tasks {
+		o.byID[t.ID] = t.Consumption
+	}
+	return o
+}
+
+// Allocate implements allocator.Policy.
+func (o *Oracle) Allocate(category string, taskID int) resources.Vector {
+	c, ok := o.byID[taskID]
+	if !ok {
+		return resources.PaperWorker()
+	}
+	// Exact peak; time is left unconstrained as in the paper's evaluation.
+	return c.With(resources.Time, resources.Unlimited)
+}
+
+// Retry implements allocator.Policy. The oracle never under-allocates, so a
+// retry can only follow an eviction or a misuse; escalate defensively.
+func (o *Oracle) Retry(category string, taskID int, prev resources.Vector, exceeded []resources.Kind) resources.Vector {
+	next := prev
+	for _, k := range exceeded {
+		next = next.With(k, prev.Get(k)*2)
+	}
+	return next
+}
+
+// Observe implements allocator.Policy.
+func (o *Oracle) Observe(string, int, resources.Vector, float64) {}
+
+// Name implements allocator.Policy.
+func (o *Oracle) Name() string { return "oracle" }

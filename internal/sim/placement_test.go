@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+func TestPlacementParseRoundTrip(t *testing.T) {
+	for _, p := range Placements() {
+		got, err := ParsePlacement(p.String())
+		if err != nil || got != p {
+			t.Errorf("round-trip %v: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePlacement("nope"); err == nil {
+		t.Error("bad placement should fail to parse")
+	}
+	if Placement(99).String() == "" {
+		t.Error("unknown placement should still stringify")
+	}
+}
+
+func TestPickPolicies(t *testing.T) {
+	shape := resources.New(16, 64*1024, 64*1024, resources.Unlimited)
+	mkWorker := func(id int, usedMem float64) *simWorker {
+		return &simWorker{
+			id:       id,
+			capacity: shape,
+			used:     resources.New(0, usedMem, 0, 0),
+			alive:    true,
+		}
+	}
+	workers := []*simWorker{
+		mkWorker(0, 30000), // moderately loaded
+		mkWorker(1, 60000), // nearly full
+		mkWorker(2, 1000),  // nearly empty
+	}
+	alloc := resources.New(1, 2000, 100, resources.Unlimited)
+
+	if w := FirstFit.pick(workers, alloc, nil, 0); w.id != 0 {
+		t.Errorf("first-fit chose %d, want 0", w.id)
+	}
+	if w := WorstFit.pick(workers, alloc, nil, 0); w.id != 2 {
+		t.Errorf("worst-fit chose %d, want 2 (most free memory)", w.id)
+	}
+	if w := BestFit.pick(workers, alloc, nil, 0); w.id != 1 {
+		t.Errorf("best-fit chose %d, want 1 (tightest fit)", w.id)
+	}
+
+	// Nothing fits: nil.
+	huge := resources.New(1, 65000, 100, resources.Unlimited)
+	if w := BestFit.pick(workers, huge, nil, 0); w != nil {
+		t.Errorf("impossible allocation placed on %d", w.id)
+	}
+	// Dead workers are skipped.
+	workers[2].alive = false
+	if w := WorstFit.pick(workers, alloc, nil, 0); w.id != 0 {
+		t.Errorf("worst-fit with dead worker chose %d, want 0", w.id)
+	}
+}
+
+// The robustness claim: the allocator's efficiency is insensitive to the
+// placement policy (which only permutes completion order), so AWE across
+// policies stays within a few points.
+func TestAWERobustAcrossPlacementPolicies(t *testing.T) {
+	w, err := workflow.ByName("bimodal", 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var awes []float64
+	for _, p := range Placements() {
+		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: 10})
+		res, err := Run(Config{
+			Workflow: w,
+			Policy:   pol,
+			Pool:     opportunistic.Static{N: 10},
+			Place:    p,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(res.Outcomes) != 300 {
+			t.Fatalf("%v: %d outcomes", p, len(res.Outcomes))
+		}
+		awes = append(awes, res.Acc.AWE(resources.Memory))
+	}
+	lo, hi := awes[0], awes[0]
+	for _, a := range awes {
+		lo = math.Min(lo, a)
+		hi = math.Max(hi, a)
+	}
+	if hi-lo > 0.10 {
+		t.Errorf("AWE spread across placements = %v (%v); allocator not placement-robust", hi-lo, awes)
+	}
+}

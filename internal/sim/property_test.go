@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/dist"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+// randomWorkflow builds an arbitrary feasible workload: random category
+// count, random per-category distributions, random barriers.
+func randomWorkflow(r *rand.Rand, n int) *workflow.Workflow {
+	w := &workflow.Workflow{Name: "random"}
+	nCats := 1 + r.IntN(4)
+	type shape struct{ cores, mem, disk, runtime dist.Sampler }
+	shapes := make([]shape, nCats)
+	for c := range shapes {
+		shapes[c] = shape{
+			cores:   dist.Uniform{Lo: 0.1 + r.Float64(), Hi: 1.5 + 3*r.Float64()},
+			mem:     dist.Normal{Mean: 200 + r.Float64()*8000, Stddev: 50 + r.Float64()*1000, Min: 10},
+			disk:    dist.Uniform{Lo: 5, Hi: 50 + r.Float64()*5000},
+			runtime: dist.LogNormal{Mu: 3 + 2*r.Float64(), Sigma: 0.5, Cap: 3600},
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := r.IntN(nCats)
+		s := shapes[c]
+		w.Tasks = append(w.Tasks, workflow.Task{
+			ID:       i + 1,
+			Category: string(rune('a' + c)),
+			Consumption: resources.New(
+				s.cores.Sample(r), s.mem.Sample(r), s.disk.Sample(r), s.runtime.Sample(r)),
+		})
+	}
+	if n > 4 && r.IntN(2) == 0 {
+		w.Barriers = []int{1 + r.IntN(n-2)}
+	}
+	return w
+}
+
+// Property: with a permanent pool, every algorithm completes every random
+// feasible workload, the simulator's internal capacity checks never fire,
+// and the efficiency metrics stay in range.
+func TestSimulationCompletesArbitraryWorkloads(t *testing.T) {
+	algs := allocator.ExtendedNames()
+	f := func(seed uint64, nRaw uint8, algIdx uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 101))
+		n := int(nRaw%80) + 5
+		w := randomWorkflow(r, n)
+		if err := w.Validate(resources.PaperWorker()); err != nil {
+			return true // infeasible draws are out of scope
+		}
+		alg := algs[int(algIdx)%len(algs)]
+		pol := allocator.MustNew(alg, allocator.Config{Seed: seed})
+		res, err := Run(Config{
+			Workflow: w,
+			Policy:   pol,
+			Pool:     opportunistic.Static{N: 1 + r.IntN(8)},
+			Model:    Models()[r.IntN(len(Models()))],
+		})
+		if err != nil {
+			t.Logf("seed=%d alg=%s: %v", seed, alg, err)
+			return false
+		}
+		if len(res.Outcomes) != n {
+			return false
+		}
+		for _, k := range resources.AllocatedKinds() {
+			awe := res.Acc.AWE(k)
+			if awe <= 0 || awe > 1+1e-9 {
+				t.Logf("seed=%d alg=%s: AWE(%s)=%v", seed, alg, k, awe)
+				return false
+			}
+			if res.Acc.Waste(k) < -1e-6 {
+				return false
+			}
+		}
+		// Every outcome ends in success and has coherent attempt counts.
+		for _, o := range res.Outcomes {
+			if len(o.Attempts) == 0 {
+				return false
+			}
+			last := o.Attempts[len(o.Attempts)-1]
+			if last.Status != 0 { // metrics.Success
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical configurations produce byte-identical outcome
+// sequences, regardless of pool churn.
+func TestSimulationDeterminismUnderChurn(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func() []int {
+			r := rand.New(rand.NewPCG(seed, 202))
+			w := randomWorkflow(r, 40)
+			pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: seed})
+			res, err := Run(Config{
+				Workflow: w,
+				Policy:   pol,
+				Pool: opportunistic.Churn{
+					Initial: 4, MeanLifetime: 2000, MeanInterval: 500,
+					Horizon: 1e6, KeepLastAlive: true,
+				},
+				PoolSeed: seed,
+			})
+			if err != nil {
+				return nil
+			}
+			var sig []int
+			for _, o := range res.Outcomes {
+				sig = append(sig, len(o.Attempts))
+			}
+			return sig
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

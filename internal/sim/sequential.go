@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/workflow"
+)
+
+// RunSequential evaluates a policy on a workflow without a worker pool:
+// tasks execute one at a time in submission order, each retried until it
+// succeeds, and every completion feeds the policy before the next task is
+// allocated. Because the AWE metric is independent of the worker pool
+// (Section II-C), this fast path produces efficiency and waste numbers of
+// the same nature as the full simulation — with completion order equal to
+// submission order — at a fraction of the cost. Benchmarks and parameter
+// sweeps use it; the discrete-event Run exercises realistic interleavings.
+func RunSequential(w *workflow.Workflow, policy allocator.Policy, model ConsumptionModel, maxAttempts int) (*Result, error) {
+	if w == nil || policy == nil {
+		return nil, fmt.Errorf("sim: workflow and policy are required")
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	res := &Result{PeakWorkers: 1}
+	clock := 0.0
+	for _, t := range w.Tasks {
+		outcome := metrics.TaskOutcome{
+			TaskID:   t.ID,
+			Category: t.Category,
+			Peak:     t.Consumption,
+			Runtime:  t.Runtime(),
+		}
+		alloc := policy.Allocate(t.Category, t.ID)
+		for {
+			duration, exceeded := EvaluateAttempt(model, t.Consumption, t.Runtime(), alloc)
+			clock += duration
+			if len(exceeded) == 0 {
+				outcome.Attempts = append(outcome.Attempts, metrics.Attempt{
+					Alloc: alloc, Duration: duration, Status: metrics.Success,
+				})
+				break
+			}
+			outcome.Attempts = append(outcome.Attempts, metrics.Attempt{
+				Alloc: alloc, Duration: duration, Status: metrics.Exhausted,
+			})
+			if outcome.Retries() >= maxAttempts {
+				return nil, fmt.Errorf("sim: task %d exceeded %d attempts under %s",
+					t.ID, maxAttempts, policy.Name())
+			}
+			alloc = policy.Retry(t.Category, t.ID, alloc, exceeded)
+		}
+		policy.Observe(t.Category, t.ID, t.Consumption, t.Runtime())
+		res.Outcomes = append(res.Outcomes, outcome)
+		res.Acc.Add(outcome)
+	}
+	res.Makespan = clock
+	return res, nil
+}

@@ -1,0 +1,396 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/devent"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/vine"
+	"dynalloc/internal/workflow"
+)
+
+// DefaultMaxAttempts bounds the retry chain of a single task. With doubling
+// escalation a task reaches worker capacity from the 1-unit floor in well
+// under 64 attempts, so hitting the bound indicates a logic error rather
+// than an unlucky run.
+const DefaultMaxAttempts = 64
+
+// Config describes one simulation run.
+type Config struct {
+	Workflow *workflow.Workflow
+	Policy   allocator.Policy
+	// Pool provides the worker arrival schedule. Nil means the paper pool
+	// (20 workers ramping to 50).
+	Pool opportunistic.Model
+	// PoolSeed seeds the pool schedule.
+	PoolSeed uint64
+	// WorkerShape is each worker's capacity. Zero means the paper worker.
+	WorkerShape resources.Vector
+	// Model is the task consumption profile (zero value = RampEarly).
+	Model ConsumptionModel
+	// Place is the worker placement policy (zero value = FirstFit).
+	Place Placement
+	// Data, when non-nil, enables the TaskVine-style data layer: task
+	// inputs are staged to workers before execution (holding the
+	// allocation meanwhile), workers cache files, evictions lose caches,
+	// and the Locality placement prefers workers holding a task's inputs.
+	Data *vine.Layer
+	// MaxAttempts bounds per-task attempts (default DefaultMaxAttempts).
+	MaxAttempts int
+	// IncludeEvictions charges eviction-lost allocations to the AWE metric.
+	IncludeEvictions bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool == nil {
+		c.Pool = opportunistic.PaperPool()
+	}
+	if c.WorkerShape.IsZero() {
+		c.WorkerShape = resources.PaperWorker()
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	return c
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Outcomes []metrics.TaskOutcome
+	Acc      metrics.Accumulator
+	Makespan float64
+	// PeakWorkers is the largest number of simultaneously alive workers.
+	PeakWorkers int
+	// Evictions counts worker evictions that interrupted at least nothing
+	// or more; every eviction is counted.
+	Evictions int
+}
+
+// Summary returns the metric summary of the run.
+func (r *Result) Summary() metrics.Summary { return r.Acc.Summarize() }
+
+type simTask struct {
+	task     workflow.Task
+	outcome  metrics.TaskOutcome
+	alloc    resources.Vector
+	hasAlloc bool
+	done     bool
+}
+
+type runningTask struct {
+	idx   int
+	start float64
+	endEv *devent.Event
+}
+
+type simWorker struct {
+	id       int
+	capacity resources.Vector
+	used     resources.Vector
+	running  map[int]*runningTask
+	alive    bool
+}
+
+func (w *simWorker) fits(alloc resources.Vector) bool {
+	const slack = 1e-9
+	for _, k := range resources.AllocatedKinds() {
+		if w.used.Get(k)+alloc.Get(k) > w.capacity.Get(k)*(1+slack) {
+			return false
+		}
+	}
+	return true
+}
+
+type simulator struct {
+	cfg     Config
+	engine  devent.Engine
+	tasks   []simTask
+	ready   []int // task indices awaiting placement, in dispatch priority order
+	workers []*simWorker
+
+	released          int // tasks [0, released) may start (barrier gating)
+	completed         int
+	completedInPrefix int
+	futureArrivals    int
+	alive             int
+	peakWorkers       int
+	evictions         int
+	makespan          float64
+	err               error
+}
+
+// Run executes the discrete-event simulation and returns the per-task
+// outcomes and aggregated metrics.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workflow == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: Workflow and Policy are required")
+	}
+	s := &simulator{cfg: cfg}
+	s.tasks = make([]simTask, len(cfg.Workflow.Tasks))
+	for i, t := range cfg.Workflow.Tasks {
+		s.tasks[i] = simTask{task: t, outcome: metrics.TaskOutcome{
+			TaskID:   t.ID,
+			Category: t.Category,
+			Peak:     t.Consumption,
+			Runtime:  t.Runtime(),
+		}}
+	}
+
+	arrivals := cfg.Pool.Schedule(cfg.PoolSeed)
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("sim: pool model %s provided no workers", cfg.Pool.Name())
+	}
+	s.futureArrivals = len(arrivals)
+	for i, a := range arrivals {
+		a := a
+		id := i
+		s.engine.At(a.At, func() { s.onArrival(id, a) })
+	}
+
+	s.released = len(s.tasks)
+	if len(cfg.Workflow.Barriers) > 0 {
+		s.released = cfg.Workflow.Barriers[0]
+	}
+	for i := 0; i < s.released; i++ {
+		s.ready = append(s.ready, i)
+	}
+	s.engine.At(0, s.dispatch)
+	s.engine.Run()
+
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.completed != len(s.tasks) {
+		return nil, fmt.Errorf("sim: deadlock with %d/%d tasks complete (pool drained or infeasible allocation)",
+			s.completed, len(s.tasks))
+	}
+	res := &Result{
+		Makespan:    s.makespan,
+		PeakWorkers: s.peakWorkers,
+		Evictions:   s.evictions,
+	}
+	res.Acc.IncludeEvictions = cfg.IncludeEvictions
+	for i := range s.tasks {
+		res.Outcomes = append(res.Outcomes, s.tasks[i].outcome)
+		res.Acc.Add(s.tasks[i].outcome)
+	}
+	return res, nil
+}
+
+func (s *simulator) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *simulator) onArrival(id int, a opportunistic.Arrival) {
+	if s.err != nil {
+		return
+	}
+	w := &simWorker{
+		id:       id,
+		capacity: s.cfg.WorkerShape,
+		running:  make(map[int]*runningTask),
+		alive:    true,
+	}
+	s.workers = append(s.workers, w)
+	s.futureArrivals--
+	s.alive++
+	if s.alive > s.peakWorkers {
+		s.peakWorkers = s.alive
+	}
+	if a.Lifetime > 0 {
+		s.engine.After(a.Lifetime, func() { s.onEviction(w) })
+	}
+	s.dispatch()
+}
+
+func (s *simulator) onEviction(w *simWorker) {
+	if s.err != nil || !w.alive {
+		return
+	}
+	w.alive = false
+	s.alive--
+	s.evictions++
+	if s.cfg.Data != nil {
+		s.cfg.Data.DropWorker(w.id)
+	}
+	now := s.engine.Now()
+	// Iterate the victims in task order: map iteration order would make
+	// the requeue order — and hence the whole run — nondeterministic.
+	victims := make([]int, 0, len(w.running))
+	for idx := range w.running {
+		victims = append(victims, idx)
+	}
+	sort.Ints(victims)
+	for _, idx := range victims {
+		rt := w.running[idx]
+		rt.endEv.Cancel()
+		st := &s.tasks[idx]
+		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
+			Alloc:    st.alloc,
+			Duration: now - rt.start,
+			Status:   metrics.Evicted,
+		})
+		// The task keeps its allocation: eviction says nothing about the
+		// allocation's adequacy. Retries jump the queue.
+		s.ready = append([]int{idx}, s.ready...)
+	}
+	w.running = make(map[int]*runningTask)
+	w.used = resources.Vector{}
+	s.dispatch()
+}
+
+// dispatch greedily places ready tasks onto alive workers, in queue order,
+// skipping tasks that fit no worker right now (Work Queue-style in-manager
+// backfilling avoids head-of-line blocking).
+func (s *simulator) dispatch() {
+	if s.err != nil {
+		return
+	}
+	// SubmitWindow models runtime task generation: tasks beyond
+	// completed+window have not been produced by the application yet.
+	submitted := len(s.tasks)
+	if w := s.cfg.Workflow.SubmitWindow; w > 0 {
+		submitted = s.completed + w
+	}
+	// Bound the backfilling depth: after this many consecutive placement
+	// failures the pool is effectively full for this batch's allocation
+	// sizes and the rest of the queue is left for the next event (real
+	// managers bound their dispatch scans the same way).
+	const maxConsecutiveMisses = 256
+	misses := 0
+	var remaining []int
+	for qi, idx := range s.ready {
+		if misses >= maxConsecutiveMisses {
+			remaining = append(remaining, s.ready[qi:]...)
+			break
+		}
+		st := &s.tasks[idx]
+		// Window-gating applies to tasks that never started; a retried or
+		// evicted task was already generated and stays dispatchable.
+		if !st.hasAlloc && idx >= submitted {
+			remaining = append(remaining, idx)
+			continue
+		}
+		// Allocation happens at dispatch time (Section II-A): a first
+		// attempt gets a fresh prediction every time placement is tried,
+		// so a task that waited in the queue benefits from everything the
+		// allocator learned meanwhile. Retries keep their escalated
+		// allocation (hasAlloc is set on the retry path).
+		alloc := st.alloc
+		if !st.hasAlloc {
+			alloc = s.cfg.Policy.Allocate(st.task.Category, st.task.ID)
+		}
+		if w := s.cfg.Place.pick(s.workers, alloc, s.cfg.Data, st.task.ID); w != nil {
+			st.alloc = alloc
+			st.hasAlloc = true
+			s.place(w, idx)
+			misses = 0
+		} else {
+			remaining = append(remaining, idx)
+			misses++
+		}
+	}
+	s.ready = remaining
+	if len(s.ready) > 0 && s.alive == 0 && s.futureArrivals == 0 {
+		s.fail(fmt.Errorf("sim: %d tasks stranded with no workers left", len(s.ready)))
+	}
+}
+
+func (s *simulator) place(w *simWorker, idx int) {
+	st := &s.tasks[idx]
+	w.used = w.used.Add(st.alloc.With(resources.Time, 0))
+	for _, k := range resources.AllocatedKinds() {
+		if w.used.Get(k) > w.capacity.Get(k)*(1+1e-6) {
+			s.fail(fmt.Errorf("sim: worker %d over-packed on %s: %v > %v",
+				w.id, k, w.used.Get(k), w.capacity.Get(k)))
+			return
+		}
+	}
+	now := s.engine.Now()
+	duration, exceeded := EvaluateAttempt(s.cfg.Model, st.task.Consumption, st.task.Runtime(), st.alloc)
+	if s.cfg.Data != nil {
+		// Staging a task's missing inputs holds the allocation before the
+		// payload starts; the transfer time extends the attempt.
+		duration += s.cfg.Data.Stage(w.id, st.task.ID)
+	}
+	rt := &runningTask{idx: idx, start: now}
+	rt.endEv = s.engine.After(duration, func() { s.onTaskEnd(w, rt, duration, exceeded) })
+	w.running[idx] = rt
+}
+
+func (s *simulator) onTaskEnd(w *simWorker, rt *runningTask, duration float64, exceeded []resources.Kind) {
+	if s.err != nil {
+		return
+	}
+	idx := rt.idx
+	st := &s.tasks[idx]
+	delete(w.running, idx)
+	w.used = w.used.Sub(st.alloc.With(resources.Time, 0))
+	// Guard against float drift accumulating below zero.
+	for k := range w.used {
+		if w.used[k] < 0 && w.used[k] > -1e-6 {
+			w.used[k] = 0
+		}
+	}
+
+	if len(exceeded) == 0 {
+		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
+			Alloc:    st.alloc,
+			Duration: duration,
+			Status:   metrics.Success,
+		})
+		st.done = true
+		s.completed++
+		s.makespan = s.engine.Now()
+		s.cfg.Policy.Observe(st.task.Category, st.task.ID, st.task.Consumption, st.task.Runtime())
+		s.advanceBarrier(idx)
+		s.dispatch()
+		return
+	}
+
+	st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
+		Alloc:    st.alloc,
+		Duration: duration,
+		Status:   metrics.Exhausted,
+	})
+	if st.outcome.Retries() >= s.cfg.MaxAttempts {
+		s.fail(fmt.Errorf("sim: task %d exceeded %d attempts under %s (alloc %v, peak %v)",
+			st.task.ID, s.cfg.MaxAttempts, s.cfg.Policy.Name(), st.alloc, st.task.Consumption))
+		return
+	}
+	st.alloc = s.cfg.Policy.Retry(st.task.Category, st.task.ID, st.alloc, exceeded)
+	s.ready = append([]int{idx}, s.ready...)
+	s.dispatch()
+}
+
+// advanceBarrier releases the next phase once every task before the current
+// barrier has completed.
+func (s *simulator) advanceBarrier(completedIdx int) {
+	if completedIdx < s.released {
+		s.completedInPrefix++
+	}
+	w := s.cfg.Workflow
+	for s.released < len(s.tasks) && s.completedInPrefix == s.released {
+		next := len(s.tasks)
+		for _, b := range w.Barriers {
+			if b > s.released {
+				next = int(math.Min(float64(next), float64(b)))
+				break
+			}
+		}
+		for i := s.released; i < next; i++ {
+			s.ready = append(s.ready, i)
+		}
+		// Count already-completed tasks in the newly released prefix (none
+		// can exist, but keep the invariant explicit).
+		s.released = next
+	}
+}

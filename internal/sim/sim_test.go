@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+func mustWorkflow(t testing.TB, name string, n int, seed uint64) *workflow.Workflow {
+	t.Helper()
+	w, err := workflow.ByName(name, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestOracleAchievesPerfectEfficiency(t *testing.T) {
+	w := mustWorkflow(t, "normal", 200, 1)
+	res, err := Run(Config{
+		Workflow: w,
+		Policy:   NewOracle(w),
+		Pool:     opportunistic.Static{N: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 200 {
+		t.Fatalf("completed %d tasks", len(res.Outcomes))
+	}
+	for _, k := range resources.AllocatedKinds() {
+		if awe := res.Acc.AWE(k); math.Abs(awe-1) > 1e-9 {
+			t.Errorf("oracle AWE(%s) = %v, want 1", k, awe)
+		}
+		if res.Acc.Waste(k) != 0 {
+			t.Errorf("oracle waste(%s) = %v, want 0", k, res.Acc.Waste(k))
+		}
+	}
+	if res.Acc.Retries() != 0 {
+		t.Errorf("oracle retries = %d", res.Acc.Retries())
+	}
+	if res.Makespan <= 0 {
+		t.Error("makespan not recorded")
+	}
+}
+
+func TestAllAlgorithmsCompleteAllWorkloads(t *testing.T) {
+	// Integration: every algorithm finishes a down-scaled version of every
+	// workload on a static pool; all AWE values are in (0, 1].
+	for _, wfName := range workflow.SyntheticNames() {
+		w := mustWorkflow(t, wfName, 120, 2)
+		for _, alg := range allocator.Names() {
+			pol := allocator.MustNew(alg, allocator.Config{Seed: 3})
+			res, err := Run(Config{Workflow: w, Policy: pol, Pool: opportunistic.Static{N: 8}})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wfName, alg, err)
+			}
+			if len(res.Outcomes) != w.Len() {
+				t.Fatalf("%s/%s: %d outcomes", wfName, alg, len(res.Outcomes))
+			}
+			for _, k := range resources.AllocatedKinds() {
+				awe := res.Acc.AWE(k)
+				if awe <= 0 || awe > 1+1e-9 {
+					t.Errorf("%s/%s: AWE(%s) = %v out of (0,1]", wfName, alg, k, awe)
+				}
+			}
+		}
+	}
+}
+
+// recordingPolicy wraps a policy and logs the order of calls, for asserting
+// barrier semantics.
+type recordingPolicy struct {
+	allocator.Policy
+	mu        sync.Mutex
+	allocated []int
+	observed  []int
+}
+
+func (r *recordingPolicy) Allocate(cat string, id int) resources.Vector {
+	r.mu.Lock()
+	r.allocated = append(r.allocated, id)
+	r.mu.Unlock()
+	return r.Policy.Allocate(cat, id)
+}
+
+func (r *recordingPolicy) Observe(cat string, id int, peak resources.Vector, runtime float64) {
+	r.mu.Lock()
+	r.observed = append(r.observed, id)
+	r.mu.Unlock()
+	r.Policy.Observe(cat, id, peak, runtime)
+}
+
+func TestBarriersGatePhases(t *testing.T) {
+	w := mustWorkflow(t, "colmena", 0, 3)
+	rec := &recordingPolicy{Policy: NewOracle(w)}
+	if _, err := Run(Config{Workflow: w, Policy: rec, Pool: opportunistic.Static{N: 30}}); err != nil {
+		t.Fatal(err)
+	}
+	// A phase-2 task (ID > 228) may only be allocated once every phase-1
+	// task has completed, so at least 228 allocations (one per phase-1
+	// task, ignoring retries) must precede the first phase-2 allocation,
+	// and all 228 phase-1 observations must already have been recorded.
+	firstPhase2 := -1
+	for i, id := range rec.allocated {
+		if id > workflow.ColmenaEvaluateTasks {
+			firstPhase2 = i
+			break
+		}
+	}
+	if firstPhase2 < 0 {
+		t.Fatal("no phase-2 task was ever allocated")
+	}
+	if firstPhase2 < workflow.ColmenaEvaluateTasks {
+		t.Errorf("a phase-2 task was allocated after only %d allocations; barrier leaked", firstPhase2)
+	}
+	phase1Observed := 0
+	for _, id := range rec.observed[:min(len(rec.observed), workflow.ColmenaEvaluateTasks)] {
+		if id <= workflow.ColmenaEvaluateTasks {
+			phase1Observed++
+		}
+	}
+	if phase1Observed != workflow.ColmenaEvaluateTasks {
+		t.Errorf("first %d observations contain %d phase-1 tasks; phases interleaved",
+			workflow.ColmenaEvaluateTasks, phase1Observed)
+	}
+}
+
+func TestEvictionsAreRetriedAndExcluded(t *testing.T) {
+	w := mustWorkflow(t, "uniform", 150, 4)
+	pool := opportunistic.Churn{
+		Initial:       6,
+		MeanLifetime:  400,
+		MeanInterval:  150,
+		Horizon:       1e7,
+		KeepLastAlive: false,
+	}
+	res, err := Run(Config{
+		Workflow: w,
+		Policy:   NewOracle(w),
+		Pool:     pool,
+		PoolSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions == 0 {
+		t.Skip("churn seed produced no evictions before completion")
+	}
+	evictedAttempts := 0
+	for _, o := range res.Outcomes {
+		for _, a := range o.Attempts {
+			if a.Status == metrics.Evicted {
+				evictedAttempts++
+			}
+		}
+	}
+	if evictedAttempts == 0 {
+		t.Skip("no task was interrupted (evictions hit idle workers)")
+	}
+	// Default accounting: eviction time does not dent the oracle's AWE.
+	for _, k := range resources.AllocatedKinds() {
+		if awe := res.Acc.AWE(k); math.Abs(awe-1) > 1e-9 {
+			t.Errorf("AWE(%s) = %v, want 1 with evictions excluded", k, awe)
+		}
+	}
+	if res.Acc.Evictions() != evictedAttempts {
+		t.Errorf("accumulator evictions = %d, want %d", res.Acc.Evictions(), evictedAttempts)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() metrics.Summary {
+		w := mustWorkflow(t, "bimodal", 200, 6)
+		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: 7})
+		res, err := Run(Config{Workflow: w, Policy: pol, Pool: opportunistic.PaperPool(), PoolSeed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary()
+	}
+	a, b := run(), run()
+	if a.Attempts != b.Attempts || a.Retries != b.Retries {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.PerKind {
+		if a.PerKind[i].AWE != b.PerKind[i].AWE {
+			t.Fatalf("AWE diverged for %s", a.PerKind[i].Kind)
+		}
+	}
+}
+
+func TestPoolDrainedError(t *testing.T) {
+	w := mustWorkflow(t, "normal", 50, 9)
+	// Override runtimes to outlast every lease so eviction strands work.
+	for i := range w.Tasks {
+		w.Tasks[i].Consumption = w.Tasks[i].Consumption.With(resources.Time, 5000)
+	}
+	pool := opportunistic.Churn{Initial: 2, MeanLifetime: 100, MeanInterval: 1e9, Horizon: 1}
+	_, err := Run(Config{Workflow: w, Policy: NewOracle(w), Pool: pool, PoolSeed: 10})
+	if err == nil || !strings.Contains(err.Error(), "stranded") {
+		t.Errorf("expected stranded-tasks error, got %v", err)
+	}
+}
+
+func TestEmptyPoolError(t *testing.T) {
+	w := mustWorkflow(t, "normal", 10, 11)
+	_, err := Run(Config{Workflow: w, Policy: NewOracle(w), Pool: opportunistic.Static{N: 0}})
+	if err == nil {
+		t.Error("empty pool should error")
+	}
+}
+
+func TestMissingConfigError(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing workflow/policy should error")
+	}
+}
+
+// stubbornPolicy never escalates, driving a task into the attempt limit.
+type stubbornPolicy struct{}
+
+func (stubbornPolicy) Allocate(string, int) resources.Vector {
+	return resources.New(0.1, 1, 1, resources.Unlimited)
+}
+func (stubbornPolicy) Retry(_ string, _ int, prev resources.Vector, _ []resources.Kind) resources.Vector {
+	return prev
+}
+func (stubbornPolicy) Observe(string, int, resources.Vector, float64) {}
+func (stubbornPolicy) Name() string                                   { return "stubborn" }
+
+func TestMaxAttemptsGuard(t *testing.T) {
+	w := mustWorkflow(t, "normal", 5, 12)
+	_, err := Run(Config{
+		Workflow:    w,
+		Policy:      stubbornPolicy{},
+		Pool:        opportunistic.Static{N: 1},
+		MaxAttempts: 5,
+	})
+	if err == nil || !strings.Contains(err.Error(), "attempts") {
+		t.Errorf("expected attempt-limit error, got %v", err)
+	}
+}
+
+func TestSequentialOracle(t *testing.T) {
+	w := mustWorkflow(t, "topeft", 0, 13)
+	res, err := RunSequential(w, NewOracle(w), RampLinear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != w.Len() {
+		t.Fatalf("%d outcomes", len(res.Outcomes))
+	}
+	for _, k := range resources.AllocatedKinds() {
+		if awe := res.Acc.AWE(k); math.Abs(awe-1) > 1e-9 {
+			t.Errorf("sequential oracle AWE(%s) = %v", k, awe)
+		}
+	}
+}
+
+func TestSequentialMatchesSimulationForOracle(t *testing.T) {
+	// With the oracle (no learning, no retries), sequential and
+	// discrete-event execution must produce identical waste and AWE.
+	w := mustWorkflow(t, "bimodal", 100, 14)
+	seq, err := RunSequential(w, NewOracle(w), RampLinear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := Run(Config{Workflow: w, Policy: NewOracle(w), Pool: opportunistic.Static{N: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range resources.AllocatedKinds() {
+		if math.Abs(seq.Acc.Allocation(k)-des.Acc.Allocation(k)) > 1e-6 {
+			t.Errorf("allocation mismatch for %s: %v vs %v", k, seq.Acc.Allocation(k), des.Acc.Allocation(k))
+		}
+	}
+}
+
+func TestSequentialErrors(t *testing.T) {
+	if _, err := RunSequential(nil, nil, RampLinear, 0); err == nil {
+		t.Error("nil inputs should error")
+	}
+	w := mustWorkflow(t, "normal", 5, 15)
+	if _, err := RunSequential(w, stubbornPolicy{}, RampLinear, 3); err == nil {
+		t.Error("stubborn policy should exhaust attempts")
+	}
+}
+
+func TestSubmitWindowThrottlesGeneration(t *testing.T) {
+	// With a window of w, at most w tasks may ever have been started
+	// before the k-th completion, so the number of distinct tasks allocated
+	// ahead of feedback is bounded by w.
+	w := mustWorkflow(t, "uniform", 100, 20)
+	w.SubmitWindow = 5
+	rec := &recordingPolicy{Policy: NewOracle(w)}
+	if _, err := Run(Config{Workflow: w, Policy: rec, Pool: opportunistic.Static{N: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	// Despite 50 free workers, only the window's 5 tasks exist at t=0, so
+	// the first five allocations are exactly tasks 1-5.
+	if len(rec.allocated) < 5 {
+		t.Fatalf("only %d allocations", len(rec.allocated))
+	}
+	for i, id := range rec.allocated[:5] {
+		if id < 1 || id > 5 {
+			t.Errorf("allocation %d was task %d; window of 5 leaked", i, id)
+		}
+	}
+	distinct := map[int]bool{}
+	for _, id := range rec.allocated {
+		distinct[id] = true
+	}
+	if len(distinct) != 100 {
+		t.Fatalf("only %d distinct tasks were allocated", len(distinct))
+	}
+}
+
+func TestWorkersRampUpIsUsed(t *testing.T) {
+	w := mustWorkflow(t, "uniform", 300, 16)
+	res, err := Run(Config{
+		Workflow: w,
+		Policy:   NewOracle(w),
+		Pool:     opportunistic.Backfill{Min: 3, Max: 10, Interval: 30},
+		PoolSeed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakWorkers < 4 {
+		t.Errorf("peak workers = %d; ramp-up never used", res.PeakWorkers)
+	}
+}
+
+func TestOracleUnknownTaskFallsBack(t *testing.T) {
+	w := mustWorkflow(t, "normal", 5, 18)
+	o := NewOracle(w)
+	alloc := o.Allocate("x", 99999)
+	if alloc.Get(resources.Cores) != 16 {
+		t.Errorf("unknown task alloc = %v, want whole machine", alloc)
+	}
+	if o.Name() != "oracle" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,101 @@
+// Package stats provides the small set of summary statistics the trace
+// tooling and experiment harnesses need: means, standard deviations,
+// quantiles, and five-number summaries of float series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation, or 0 for fewer than two
+// samples.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics. It sorts a copy and leaves the input untouched.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary is a five-number-plus summary of a series.
+type Summary struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+}
+
+// Summarize computes the summary of a series.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Min:    sorted[0],
+		P25:    quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		P75:    quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(xs),
+		Stddev: Stddev(xs),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f mean=%.2f sd=%.2f",
+		s.N, s.Min, s.P25, s.Median, s.P75, s.Max, s.Mean, s.Stddev)
+}

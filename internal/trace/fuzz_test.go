@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/workflow"
+)
+
+// FuzzReadWorkflow exercises the trace parser with arbitrary input: it must
+// never panic, and anything it accepts must survive a write/read round
+// trip.
+func FuzzReadWorkflow(f *testing.F) {
+	w, err := workflow.Synthetic("normal", 5, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkflow(&buf, w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","tasks":[]}`)
+	f.Add(`{"name":"x","barriers":[1],"tasks":[{"category":"a","cores":1,"memory_mb":1,"disk_mb":1,"time_s":1}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadWorkflow(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteWorkflow(&out, got); err != nil {
+			t.Fatalf("accepted workflow failed to serialize: %v", err)
+		}
+		again, err := ReadWorkflow(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.Tasks) != len(got.Tasks) || again.Name != got.Name {
+			t.Fatalf("round trip changed shape: %d/%q vs %d/%q",
+				len(again.Tasks), again.Name, len(got.Tasks), got.Name)
+		}
+	})
+}

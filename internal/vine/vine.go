@@ -1,0 +1,199 @@
+// Package vine models the in-cluster data layer of TaskVine (the successor
+// of Work Queue that the paper's acknowledgements point to): tasks declare
+// input files, workers keep an LRU cache of files they have already
+// fetched, staging a missing file costs transfer time, and the scheduler
+// can prefer workers that already hold a task's inputs.
+//
+// The paper names "data locality on workers" as one source of the arbitrary
+// task-ordering stochasticity a robust allocator must tolerate
+// (Section II-D1); this layer makes that stochasticity concrete in the
+// simulator: locality-aware placement changes which tasks run where and
+// when, while the allocator's efficiency should remain stable.
+package vine
+
+import (
+	"fmt"
+	"sort"
+
+	"dynalloc/internal/dist"
+	"dynalloc/internal/workflow"
+)
+
+// File is one named immutable input of a task.
+type File struct {
+	Name   string
+	SizeMB float64
+}
+
+// Layer holds the file attachments of a workload and the per-worker caches
+// of a running simulation. It is not safe for concurrent use; the
+// discrete-event simulator is single-threaded.
+type Layer struct {
+	// TransferMBps is the staging bandwidth in MB/s (default 100).
+	TransferMBps float64
+	// CacheMB bounds each worker's file cache (default 16 GB); least
+	// recently used files are evicted to make room.
+	CacheMB float64
+
+	inputs map[int][]File // task ID -> inputs
+	caches map[int]*cache // worker ID -> cache
+}
+
+// NewLayer creates an empty data layer.
+func NewLayer() *Layer {
+	return &Layer{
+		TransferMBps: 100,
+		CacheMB:      16 * 1024,
+		inputs:       make(map[int][]File),
+		caches:       make(map[int]*cache),
+	}
+}
+
+// SetInputs declares the input files of a task.
+func (l *Layer) SetInputs(taskID int, files []File) {
+	l.inputs[taskID] = files
+}
+
+// Inputs returns a task's declared inputs.
+func (l *Layer) Inputs(taskID int) []File { return l.inputs[taskID] }
+
+// InputMB returns the total input volume of a task.
+func (l *Layer) InputMB(taskID int) float64 {
+	total := 0.0
+	for _, f := range l.inputs[taskID] {
+		total += f.SizeMB
+	}
+	return total
+}
+
+// CachedMB returns how many MB of a task's inputs a worker already holds —
+// the locality score placement uses.
+func (l *Layer) CachedMB(workerID, taskID int) float64 {
+	c, ok := l.caches[workerID]
+	if !ok {
+		return 0
+	}
+	hit := 0.0
+	for _, f := range l.inputs[taskID] {
+		if c.has(f.Name) {
+			hit += f.SizeMB
+		}
+	}
+	return hit
+}
+
+// Stage transfers a task's missing inputs to a worker, updates the cache,
+// and returns the staging delay in seconds.
+func (l *Layer) Stage(workerID, taskID int) float64 {
+	c, ok := l.caches[workerID]
+	if !ok {
+		c = newCache(l.CacheMB)
+		l.caches[workerID] = c
+	}
+	missing := 0.0
+	for _, f := range l.inputs[taskID] {
+		if c.has(f.Name) {
+			c.touch(f.Name)
+			continue
+		}
+		missing += f.SizeMB
+		c.put(f)
+	}
+	if l.TransferMBps <= 0 {
+		return 0
+	}
+	return missing / l.TransferMBps
+}
+
+// DropWorker forgets a worker's cache (eviction: the node is gone).
+func (l *Layer) DropWorker(workerID int) { delete(l.caches, workerID) }
+
+// CacheBytes returns the MB currently cached on a worker.
+func (l *Layer) CacheBytes(workerID int) float64 {
+	if c, ok := l.caches[workerID]; ok {
+		return c.used
+	}
+	return 0
+}
+
+// cache is a small LRU keyed by file name.
+type cache struct {
+	cap   float64
+	used  float64
+	files map[string]*entry
+	tick  int64
+}
+
+type entry struct {
+	file File
+	at   int64
+}
+
+func newCache(capMB float64) *cache {
+	return &cache{cap: capMB, files: make(map[string]*entry)}
+}
+
+func (c *cache) has(name string) bool {
+	_, ok := c.files[name]
+	return ok
+}
+
+func (c *cache) touch(name string) {
+	if e, ok := c.files[name]; ok {
+		c.tick++
+		e.at = c.tick
+	}
+}
+
+func (c *cache) put(f File) {
+	if f.SizeMB > c.cap {
+		return // never cacheable; streamed through
+	}
+	c.tick++
+	if e, ok := c.files[f.Name]; ok {
+		e.at = c.tick
+		return
+	}
+	for c.used+f.SizeMB > c.cap {
+		c.evictLRU()
+	}
+	c.files[f.Name] = &entry{file: f, at: c.tick}
+	c.used += f.SizeMB
+}
+
+func (c *cache) evictLRU() {
+	var victim string
+	var oldest int64 = 1<<62 - 1
+	for name, e := range c.files {
+		if e.at < oldest || (e.at == oldest && name < victim) {
+			victim, oldest = name, e.at
+		}
+	}
+	if victim == "" {
+		return
+	}
+	c.used -= c.files[victim].file.SizeMB
+	delete(c.files, victim)
+}
+
+// Attach generates a synthetic file layout for a workload in the shape of
+// the paper's applications: every task of a category shares that category's
+// software environment file (hundreds of MB, fetched once per worker and
+// then cached) plus a per-task unique data file sized relative to the
+// task's disk consumption.
+func Attach(l *Layer, w *workflow.Workflow, seed uint64) {
+	r := dist.NewRand(seed)
+	envSize := make(map[string]float64)
+	cats := w.Categories()
+	sort.Strings(cats)
+	for _, cat := range cats {
+		envSize[cat] = 200 + r.Float64()*600
+	}
+	for _, t := range w.Tasks {
+		unique := 5 + r.Float64()*45
+		l.SetInputs(t.ID, []File{
+			{Name: "env-" + t.Category, SizeMB: envSize[t.Category]},
+			{Name: fmt.Sprintf("data-%d", t.ID), SizeMB: unique},
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package workflow
+
+import (
+	"dynalloc/internal/dist"
+	"dynalloc/internal/resources"
+)
+
+// Perturbation models the paper's external stochasticity between runs of
+// the same workflow (Section II-D2): evolution of the application shifts
+// resource consumption, new input distributions rescale task sizes, and a
+// busy shared system stretches runtimes. A prior-free allocator must handle
+// a perturbed rerun exactly as well as the original — it carries nothing
+// over — whereas anything trained on the previous run would be misled.
+type Perturbation struct {
+	// Scale multiplies every task's consumption per kind; 1.0 = unchanged.
+	// Zero values mean 1.0.
+	Scale resources.Vector
+	// Jitter adds per-task multiplicative noise: each kind is multiplied by
+	// a factor drawn uniformly from [1-Jitter, 1+Jitter].
+	Jitter float64
+	// SwapFraction randomly reorders this fraction of task positions,
+	// modeling changed submission order between runs.
+	SwapFraction float64
+}
+
+// Perturb returns a copy of the workflow with the perturbation applied.
+// Task IDs are renumbered to match the new submission order; barriers and
+// the submit window are preserved.
+func Perturb(w *Workflow, p Perturbation, seed uint64) *Workflow {
+	r := dist.NewRand(seed)
+	scale := p.Scale
+	for k := range scale {
+		if scale[k] == 0 {
+			scale[k] = 1
+		}
+	}
+	out := &Workflow{
+		Name:         w.Name + "-perturbed",
+		Barriers:     append([]int(nil), w.Barriers...),
+		SubmitWindow: w.SubmitWindow,
+		Tasks:        make([]Task, len(w.Tasks)),
+	}
+	copy(out.Tasks, w.Tasks)
+
+	// Swap positions within the whole list (phase boundaries are respected
+	// by only swapping tasks in the same phase).
+	if p.SwapFraction > 0 {
+		swaps := int(p.SwapFraction * float64(len(out.Tasks)))
+		for s := 0; s < swaps; s++ {
+			i := r.IntN(len(out.Tasks))
+			j := r.IntN(len(out.Tasks))
+			if w.PhaseOf(i) == w.PhaseOf(j) {
+				out.Tasks[i], out.Tasks[j] = out.Tasks[j], out.Tasks[i]
+			}
+		}
+	}
+
+	for i := range out.Tasks {
+		c := out.Tasks[i].Consumption
+		for _, k := range resources.Kinds() {
+			factor := scale.Get(k)
+			if p.Jitter > 0 {
+				factor *= 1 - p.Jitter + 2*p.Jitter*r.Float64()
+			}
+			c = c.With(k, c.Get(k)*factor)
+		}
+		out.Tasks[i].Consumption = c
+		out.Tasks[i].ID = i + 1
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/resources"
+)
+
+func TestPerturbScale(t *testing.T) {
+	w, err := Synthetic("normal", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Perturb(w, Perturbation{Scale: resources.New(1, 2, 1, 1)}, 2)
+	if p.Name != "normal-perturbed" {
+		t.Errorf("name = %q", p.Name)
+	}
+	for i := range w.Tasks {
+		orig := w.Tasks[i].Consumption
+		got := p.Tasks[i].Consumption
+		if math.Abs(got.Get(resources.Memory)-2*orig.Get(resources.Memory)) > 1e-9 {
+			t.Fatalf("task %d memory not doubled", i)
+		}
+		if got.Get(resources.Cores) != orig.Get(resources.Cores) {
+			t.Fatalf("task %d cores changed", i)
+		}
+	}
+	if err := p.Validate(resources.PaperWorker()); err != nil {
+		t.Errorf("perturbed workflow invalid: %v", err)
+	}
+}
+
+func TestPerturbJitterBounded(t *testing.T) {
+	w, err := Synthetic("uniform", 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Perturb(w, Perturbation{Jitter: 0.1}, 4)
+	changed := 0
+	for i := range w.Tasks {
+		ratio := p.Tasks[i].Consumption.Get(resources.Memory) / w.Tasks[i].Consumption.Get(resources.Memory)
+		if ratio < 0.9-1e-9 || ratio > 1.1+1e-9 {
+			t.Fatalf("task %d jitter ratio %v out of bounds", i, ratio)
+		}
+		if math.Abs(ratio-1) > 1e-9 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("jitter changed nothing")
+	}
+}
+
+func TestPerturbSwapRespectsPhases(t *testing.T) {
+	w := ColmenaXTB(5)
+	p := Perturb(w, Perturbation{SwapFraction: 0.5}, 6)
+	// Categories must stay on their side of the barrier.
+	for i, task := range p.Tasks {
+		if i < ColmenaEvaluateTasks && task.Category != "evaluate_mpnn" {
+			t.Fatalf("task at %d crossed the phase barrier", i)
+		}
+		if i >= ColmenaEvaluateTasks && task.Category != "compute_atomization_energy" {
+			t.Fatalf("task at %d crossed the phase barrier", i)
+		}
+	}
+	// IDs renumbered contiguously.
+	for i, task := range p.Tasks {
+		if task.ID != i+1 {
+			t.Fatalf("task %d has ID %d", i, task.ID)
+		}
+	}
+	if p.Barriers[0] != w.Barriers[0] || p.SubmitWindow != w.SubmitWindow {
+		t.Error("structure not preserved")
+	}
+	// The multiset of consumptions is preserved (swap + identity scale).
+	sum := func(tasks []Task) float64 {
+		s := 0.0
+		for _, t := range tasks {
+			s += t.Consumption.Get(resources.Memory)
+		}
+		return s
+	}
+	if math.Abs(sum(w.Tasks)-sum(p.Tasks)) > 1e-6 {
+		t.Error("swapping changed total consumption")
+	}
+}
+
+func TestPerturbDoesNotMutateOriginal(t *testing.T) {
+	w, err := Synthetic("bimodal", 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]Task(nil), w.Tasks...)
+	Perturb(w, Perturbation{Scale: resources.New(3, 3, 3, 3), SwapFraction: 1, Jitter: 0.5}, 8)
+	for i := range before {
+		if w.Tasks[i] != before[i] {
+			t.Fatalf("original task %d mutated", i)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package workflow
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dynalloc/internal/dist"
+	"dynalloc/internal/resources"
+)
+
+func ln(x float64) float64 { return math.Log(x) }
+
+// Task counts of the two production workflows (Section III-B).
+const (
+	ColmenaEvaluateTasks    = 228  // evaluate_mpnn
+	ColmenaComputeTasks     = 1000 // compute_atomization_energy
+	TopEFTPreprocessTasks   = 363
+	TopEFTProcessTasks      = 3994
+	TopEFTAccumulateTasks   = 212
+	topEFTAccumulateSpacing = TopEFTProcessTasks / TopEFTAccumulateTasks
+)
+
+// categorySampler bundles the per-kind samplers of one task category.
+type categorySampler struct {
+	name   string
+	cores  dist.Sampler
+	memory dist.Sampler
+	disk   dist.Sampler
+	time   dist.Sampler
+}
+
+func (cs categorySampler) task(id int, r *rand.Rand) Task {
+	return Task{
+		ID:       id,
+		Category: cs.name,
+		Consumption: resources.New(
+			cs.cores.Sample(r),
+			cs.memory.Sample(r),
+			cs.disk.Sample(r),
+			cs.time.Sample(r),
+		),
+	}
+}
+
+// ColmenaXTB synthesizes the ColmenaXTB molecular-design workflow of
+// Section III: a phase of 228 evaluate_mpnn tasks (1.0-1.2 GB memory,
+// ~1 core, ~10 MB disk) followed, after a barrier, by 1000
+// compute_atomization_energy tasks (~200 MB memory, highly variable
+// 0.9-3.6 cores, ~10 MB disk). The barrier reproduces the application
+// logic: molecules are ranked first, then only top-ranked molecules are
+// processed.
+func ColmenaXTB(seed uint64) *Workflow {
+	r := dist.NewRand(seed)
+	evaluate := categorySampler{
+		name:   "evaluate_mpnn",
+		cores:  dist.Normal{Mean: 1.0, Stddev: 0.08, Min: 0.5},
+		memory: dist.Uniform{Lo: 1000, Hi: 1200},
+		disk:   dist.Normal{Mean: 10, Stddev: 2, Min: 2},
+		time:   dist.LogNormal{Mu: ln(90), Sigma: 0.35, Cap: 1800},
+	}
+	compute := categorySampler{
+		name:   "compute_atomization_energy",
+		cores:  dist.Uniform{Lo: 0.9, Hi: 3.6},
+		memory: dist.Normal{Mean: 200, Stddev: 20, Min: 80},
+		disk:   dist.Normal{Mean: 10, Stddev: 3, Min: 2},
+		time:   dist.LogNormal{Mu: ln(300), Sigma: 0.5, Cap: 3600},
+	}
+	// Colmena's steering loop submits new work in response to returned
+	// results rather than all at once; the window models that runtime task
+	// generation.
+	w := &Workflow{Name: "colmena", Barriers: []int{ColmenaEvaluateTasks}, SubmitWindow: 50}
+	id := 1
+	for i := 0; i < ColmenaEvaluateTasks; i++ {
+		w.Tasks = append(w.Tasks, evaluate.task(id, r))
+		id++
+	}
+	for i := 0; i < ColmenaComputeTasks; i++ {
+		w.Tasks = append(w.Tasks, compute.task(id, r))
+		id++
+	}
+	return w
+}
+
+// TopEFT synthesizes the TopEFT LHC-analysis workflow of Section III:
+// 363 preprocessing tasks, then 3994 processing tasks interleaved with 212
+// accumulating tasks (Coffea submits all preprocessing first, then divides
+// events between processing tasks whose partial results accumulating tasks
+// merge). Memory of processing tasks is the paper's puzzling two-cluster
+// distribution (~450 MB and ~580 MB); preprocessing and accumulating sit
+// near 180 MB; disk is the constant 306 MB the paper highlights; cores are
+// mostly at or below one with occasional outliers up to three.
+func TopEFT(seed uint64) *Workflow {
+	r := dist.NewRand(seed)
+	lightCores := dist.Outlier{
+		Base: dist.Uniform{Lo: 0.2, Hi: 1.0},
+		Tail: dist.Uniform{Lo: 1.5, Hi: 3.0},
+		P:    0.02,
+	}
+	preprocess := categorySampler{
+		name:   "preprocessing",
+		cores:  lightCores,
+		memory: dist.Normal{Mean: 180, Stddev: 12, Min: 80},
+		disk:   dist.Constant{V: 306},
+		time:   dist.LogNormal{Mu: ln(30), Sigma: 0.3, Cap: 600},
+	}
+	process := categorySampler{
+		name: "processing",
+		cores: dist.Outlier{
+			Base: dist.Uniform{Lo: 0.5, Hi: 1.0},
+			Tail: dist.Uniform{Lo: 1.5, Hi: 3.0},
+			P:    0.03,
+		},
+		memory: dist.Mixture{Components: []dist.Component{
+			{Weight: 0.45, Sampler: dist.Normal{Mean: 450, Stddev: 15, Min: 200}},
+			{Weight: 0.55, Sampler: dist.Normal{Mean: 580, Stddev: 15, Min: 200}},
+		}},
+		disk: dist.Constant{V: 306},
+		time: dist.LogNormal{Mu: ln(120), Sigma: 0.4, Cap: 2400},
+	}
+	accumulate := categorySampler{
+		name:   "accumulating",
+		cores:  lightCores,
+		memory: dist.Normal{Mean: 185, Stddev: 12, Min: 80},
+		disk:   dist.Constant{V: 306},
+		time:   dist.LogNormal{Mu: ln(60), Sigma: 0.4, Cap: 1200},
+	}
+
+	w := &Workflow{Name: "topeft", Barriers: []int{TopEFTPreprocessTasks}}
+	id := 1
+	for i := 0; i < TopEFTPreprocessTasks; i++ {
+		w.Tasks = append(w.Tasks, preprocess.task(id, r))
+		id++
+	}
+	accumulated := 0
+	for i := 0; i < TopEFTProcessTasks; i++ {
+		w.Tasks = append(w.Tasks, process.task(id, r))
+		id++
+		if (i+1)%topEFTAccumulateSpacing == 0 && accumulated < TopEFTAccumulateTasks {
+			w.Tasks = append(w.Tasks, accumulate.task(id, r))
+			id++
+			accumulated++
+		}
+	}
+	for accumulated < TopEFTAccumulateTasks {
+		w.Tasks = append(w.Tasks, accumulate.task(id, r))
+		id++
+		accumulated++
+	}
+	return w
+}

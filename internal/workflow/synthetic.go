@@ -1,0 +1,95 @@
+package workflow
+
+import (
+	"fmt"
+
+	"dynalloc/internal/dist"
+	"dynalloc/internal/resources"
+)
+
+// DefaultSyntheticTasks is the task count of the paper's synthetic
+// workflows (Section V-B).
+const DefaultSyntheticTasks = 1000
+
+// memoryPhases returns the memory sampler phases of each synthetic family,
+// in MB. Each family captures one stochastic behaviour of Section V-B:
+// Normal and Uniform for common randomness, Exponential for outliers,
+// Bimodal for specialization of tasks, Phasing Trimodal for a moving
+// resource distribution.
+func memoryPhases(name string, n int) (dist.Phased, error) {
+	switch name {
+	case "normal":
+		return dist.Phased{Phases: []dist.Sampler{
+			dist.Normal{Mean: 8000, Stddev: 1500, Min: 100},
+		}}, nil
+	case "uniform":
+		return dist.Phased{Phases: []dist.Sampler{
+			dist.Uniform{Lo: 2000, Hi: 12000},
+		}}, nil
+	case "exponential":
+		return dist.Phased{Phases: []dist.Sampler{
+			dist.Exponential{Offset: 2000, Mean: 3000, Cap: 49152},
+		}}, nil
+	case "bimodal":
+		return dist.Phased{Phases: []dist.Sampler{
+			dist.Mixture{Components: []dist.Component{
+				{Weight: 1, Sampler: dist.Normal{Mean: 3000, Stddev: 400, Min: 100}},
+				{Weight: 1, Sampler: dist.Normal{Mean: 9000, Stddev: 700, Min: 100}},
+			}},
+		}}, nil
+	case "trimodal":
+		return dist.Phased{
+			Phases: []dist.Sampler{
+				dist.Normal{Mean: 3000, Stddev: 300, Min: 100},
+				dist.Normal{Mean: 8000, Stddev: 500, Min: 100},
+				dist.Normal{Mean: 5000, Stddev: 400, Min: 100},
+			},
+			Boundaries: []int{n / 3, 2 * n / 3},
+		}, nil
+	default:
+		return dist.Phased{}, fmt.Errorf("workflow: unknown synthetic family %q", name)
+	}
+}
+
+// Synthetic generates one of the five synthetic workflows with n tasks of a
+// single category (the paper's worst case: a large consumption discrepancy
+// within one category). n == 0 uses the paper's 1000 tasks.
+func Synthetic(name string, n int, seed uint64) (*Workflow, error) {
+	if n <= 0 {
+		n = DefaultSyntheticTasks
+	}
+	mem, err := memoryPhases(name, n)
+	if err != nil {
+		return nil, err
+	}
+	r := dist.NewRand(seed)
+	timeSampler := dist.LogNormal{Mu: ln(120), Sigma: 0.4, Cap: 3600}
+	w := &Workflow{Name: name}
+	if name == "trimodal" {
+		w.Barriers = append(w.Barriers, mem.Boundaries...)
+	}
+	for i := 0; i < n; i++ {
+		m := mem.SampleAt(i, r)
+		// Disk follows the memory distribution at half magnitude; cores
+		// follow it scaled into a realistic 0.5-12 core range.
+		d := mem.SampleAt(i, r) * 0.5
+		c := clampCores(mem.SampleAt(i, r) / 4000)
+		t := timeSampler.Sample(r)
+		w.Tasks = append(w.Tasks, Task{
+			ID:          i + 1,
+			Category:    name,
+			Consumption: resources.New(c, m, d, t),
+		})
+	}
+	return w, nil
+}
+
+func clampCores(c float64) float64 {
+	if c < 0.25 {
+		return 0.25
+	}
+	if c > 12 {
+		return 12
+	}
+	return c
+}

@@ -1,0 +1,442 @@
+package wq
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/workflow"
+)
+
+// Manager is the live task scheduler: it accepts worker connections,
+// requests an allocation for every ready task from the policy, places tasks
+// on workers with free capacity, escalates failed allocations, and feeds
+// completed tasks' resource records back to the policy.
+type Manager struct {
+	policy allocator.Policy
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	ln          net.Listener
+	workers     map[int]*managedWorker
+	tasks       map[int]*taskState
+	queue       []int // task IDs awaiting placement; retries at the front
+	nextWID     int
+	nextTID     int
+	peak        int
+	closed      bool
+	taskTimeout time.Duration
+}
+
+type managedWorker struct {
+	id       int
+	conn     net.Conn
+	enc      *json.Encoder
+	sendMu   sync.Mutex
+	capacity resources.Vector
+	used     resources.Vector
+	running  map[int]resources.Vector // task ID -> allocation held
+	alive    bool
+}
+
+func (w *managedWorker) send(m Message) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	return w.enc.Encode(m)
+}
+
+type taskState struct {
+	task     workflow.Task
+	alloc    resources.Vector
+	hasAlloc bool
+	outcome  metrics.TaskOutcome
+	done     bool
+	notify   chan metrics.TaskOutcome // non-nil for Submit-ted tasks
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithTaskTimeout makes the manager treat a worker as lost when a
+// dispatched task delivers no result within d: the connection is closed and
+// the worker's in-flight tasks are requeued (the same path as an
+// opportunistic eviction). Zero disables the watchdog.
+func WithTaskTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.taskTimeout = d }
+}
+
+// NewManager creates a manager around an allocation policy.
+func NewManager(policy allocator.Policy, opts ...Option) *Manager {
+	m := &Manager{
+		policy:  policy,
+		workers: make(map[int]*managedWorker),
+		tasks:   make(map[int]*taskState),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Listen starts accepting workers on addr (e.g. "127.0.0.1:0") and returns
+// the bound address.
+func (m *Manager) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wq: manager listen: %w", err)
+	}
+	m.mu.Lock()
+	m.ln = ln
+	m.mu.Unlock()
+	go m.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (m *Manager) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go m.serveWorker(conn)
+	}
+}
+
+func (m *Manager) serveWorker(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	var reg Message
+	if err := dec.Decode(&reg); err != nil || reg.Type != MsgRegister {
+		return
+	}
+	capacity := reg.Capacity
+	if capacity.IsZero() {
+		capacity = resources.PaperWorker()
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	w := &managedWorker{
+		id:       m.nextWID,
+		conn:     conn,
+		enc:      json.NewEncoder(conn),
+		capacity: capacity,
+		running:  make(map[int]resources.Vector),
+		alive:    true,
+	}
+	m.nextWID++
+	m.workers[w.id] = w
+	if len(m.workers) > m.peak {
+		m.peak = len(m.workers)
+	}
+	m.dispatchLocked()
+	m.mu.Unlock()
+
+	for {
+		var res Message
+		if err := dec.Decode(&res); err != nil {
+			break
+		}
+		if res.Type != MsgResult {
+			continue
+		}
+		m.handleResult(w, res)
+	}
+	m.evict(w)
+}
+
+// evict handles a worker disappearing: its in-flight tasks are requeued with
+// their allocations intact (an eviction says nothing about allocation
+// adequacy) and recorded as eviction-lost attempts.
+func (m *Manager) evict(w *managedWorker) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	delete(m.workers, w.id)
+	for id, alloc := range w.running {
+		st, ok := m.tasks[id]
+		if !ok {
+			continue
+		}
+		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
+			Alloc:  alloc,
+			Status: metrics.Evicted,
+		})
+		m.queue = append([]int{id}, m.queue...)
+	}
+	w.running = make(map[int]resources.Vector)
+	m.dispatchLocked()
+	m.cond.Broadcast()
+}
+
+func (m *Manager) handleResult(w *managedWorker, res Message) {
+	m.mu.Lock()
+	st, ok := m.tasks[res.TaskID]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	alloc, wasRunning := w.running[res.TaskID]
+	if wasRunning {
+		delete(w.running, res.TaskID)
+		w.used = w.used.Sub(alloc.With(resources.Time, 0))
+	}
+
+	switch res.Status {
+	case StatusSuccess:
+		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
+			Alloc:    st.alloc,
+			Duration: res.Duration,
+			Status:   metrics.Success,
+		})
+		st.done = true
+		notify := st.notify
+		outcome := st.outcome
+		m.mu.Unlock()
+		// Observe outside the lock: the policy has its own lock and the
+		// bucketing recomputation can be slow.
+		m.policy.Observe(st.task.Category, st.task.ID, st.task.Consumption, st.task.Runtime())
+		if notify != nil {
+			notify <- outcome
+		}
+		m.mu.Lock()
+	case StatusExhausted:
+		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
+			Alloc:    st.alloc,
+			Duration: res.Duration,
+			Status:   metrics.Exhausted,
+		})
+		var exceeded []resources.Kind
+		for _, name := range res.Exceeded {
+			if k, err := resources.ParseKind(name); err == nil {
+				exceeded = append(exceeded, k)
+			}
+		}
+		prev := st.alloc
+		m.mu.Unlock()
+		next := m.policy.Retry(st.task.Category, st.task.ID, prev, exceeded)
+		m.mu.Lock()
+		st.alloc = next
+		m.queue = append([]int{st.task.ID}, m.queue...)
+	}
+	m.dispatchLocked()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// dispatchLocked places queued tasks onto workers with free capacity.
+// Callers hold m.mu.
+func (m *Manager) dispatchLocked() {
+	var remaining []int
+	for _, id := range m.queue {
+		st := m.tasks[id]
+		if st == nil || st.done {
+			continue
+		}
+		// Allocation happens at dispatch time: first attempts get a fresh
+		// prediction on every placement try so queued tasks benefit from
+		// records that arrived while they waited; retries keep their
+		// escalated allocation. The policy serializes itself; holding m.mu
+		// here is acceptable because Allocate is cheap relative to the
+		// network round trips it gates.
+		alloc := st.alloc
+		if !st.hasAlloc {
+			alloc = m.policy.Allocate(st.task.Category, st.task.ID)
+		}
+		placed := false
+		for _, w := range m.sortedWorkers() {
+			if !w.alive || !fits(w, alloc) {
+				continue
+			}
+			st.alloc = alloc
+			st.hasAlloc = true
+			w.used = w.used.Add(st.alloc.With(resources.Time, 0))
+			w.running[id] = st.alloc
+			if m.taskTimeout > 0 {
+				taskID := id
+				time.AfterFunc(m.taskTimeout, func() { m.reapStuck(w, taskID) })
+			}
+			msg := Message{
+				Type:     MsgTask,
+				TaskID:   st.task.ID,
+				Category: st.task.Category,
+				Alloc:    st.alloc,
+				Peak:     st.task.Consumption,
+				Runtime:  st.task.Runtime(),
+			}
+			go func(w *managedWorker) {
+				if err := w.send(msg); err != nil {
+					w.conn.Close()
+				}
+			}(w)
+			placed = true
+			break
+		}
+		if !placed {
+			remaining = append(remaining, id)
+		}
+	}
+	m.queue = remaining
+}
+
+func fits(w *managedWorker, alloc resources.Vector) bool {
+	for _, k := range resources.AllocatedKinds() {
+		if w.used.Get(k)+alloc.Get(k) > w.capacity.Get(k)*(1+1e-9) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) sortedWorkers() []*managedWorker {
+	out := make([]*managedWorker, 0, len(m.workers))
+	for id := 0; id < m.nextWID; id++ {
+		if w, ok := m.workers[id]; ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// RunWorkflow executes a workflow phase by phase (respecting its barriers)
+// and blocks until every task completes or ctx is cancelled.
+func (m *Manager) RunWorkflow(ctx context.Context, w *workflow.Workflow) (*sim.Result, error) {
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+
+	start := time.Now()
+	phases := append(append([]int{}, w.Barriers...), len(w.Tasks))
+	from := 0
+	for _, until := range phases {
+		m.mu.Lock()
+		for _, t := range w.Tasks[from:until] {
+			t := t
+			m.tasks[t.ID] = &taskState{task: t, outcome: metrics.TaskOutcome{
+				TaskID:   t.ID,
+				Category: t.Category,
+				Peak:     t.Consumption,
+				Runtime:  t.Runtime(),
+			}}
+			m.queue = append(m.queue, t.ID)
+		}
+		m.dispatchLocked()
+		for !m.phaseDoneLocked(w, until) && ctx.Err() == nil {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("wq: workflow cancelled: %w", ctx.Err())
+		}
+		from = until
+	}
+
+	res := &sim.Result{Makespan: time.Since(start).Seconds(), PeakWorkers: m.peak}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range w.Tasks {
+		st := m.tasks[t.ID]
+		res.Outcomes = append(res.Outcomes, st.outcome)
+		res.Acc.Add(st.outcome)
+	}
+	return res, nil
+}
+
+func (m *Manager) phaseDoneLocked(w *workflow.Workflow, until int) bool {
+	for _, t := range w.Tasks[:until] {
+		st, ok := m.tasks[t.ID]
+		if !ok || !st.done {
+			return false
+		}
+	}
+	return true
+}
+
+// reapStuck fires when a dispatched task's watchdog expires: if the task is
+// still outstanding on that worker, the worker is declared lost and its
+// connection closed, which funnels every in-flight task through the
+// eviction/requeue path.
+func (m *Manager) reapStuck(w *managedWorker, taskID int) {
+	m.mu.Lock()
+	_, still := w.running[taskID]
+	alive := w.alive
+	m.mu.Unlock()
+	if still && alive {
+		w.conn.Close()
+	}
+}
+
+// Submit enqueues a single dynamically generated task and returns a channel
+// that delivers its outcome once it completes. The manager assigns the task
+// a fresh submission ID (preserving the significance-equals-submission-order
+// convention); the caller's ID field is ignored. Submit is how an
+// application layer generates tasks at runtime, as opposed to RunWorkflow's
+// pre-declared task list.
+func (m *Manager) Submit(t workflow.Task) <-chan metrics.TaskOutcome {
+	ch := make(chan metrics.TaskOutcome, 1)
+	m.mu.Lock()
+	if m.nextTID == 0 {
+		// Continue after any IDs a RunWorkflow call already registered.
+		for id := range m.tasks {
+			if id > m.nextTID {
+				m.nextTID = id
+			}
+		}
+	}
+	m.nextTID++
+	t.ID = m.nextTID
+	m.tasks[t.ID] = &taskState{
+		task: t,
+		outcome: metrics.TaskOutcome{
+			TaskID:   t.ID,
+			Category: t.Category,
+			Peak:     t.Consumption,
+			Runtime:  t.Runtime(),
+		},
+		notify: ch,
+	}
+	m.queue = append(m.queue, t.ID)
+	m.dispatchLocked()
+	m.mu.Unlock()
+	return ch
+}
+
+// Workers returns the number of connected workers.
+func (m *Manager) Workers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// Close shuts down the listener and asks every worker to exit. Workers
+// close their own connections after processing the shutdown frame, so an
+// in-flight result is never cut off mid-write.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	ln := m.ln
+	workers := m.sortedWorkers()
+	m.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, w := range workers {
+		_ = w.send(Message{Type: MsgShutdown})
+	}
+}

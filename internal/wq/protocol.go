@@ -1,0 +1,60 @@
+// Package wq is a small Work Queue-style manager/worker execution engine —
+// the live counterpart of the discrete-event simulator. A manager listens on
+// TCP, workers connect and advertise their capacity, and the manager
+// dispatches tasks with allocations obtained from an allocator policy
+// (Figure 1 / Figure 3a of the paper: the scheduler provisions resources for
+// each ready task and sends it to an available worker; the worker enforces
+// the allocation, kills over-consuming tasks, and returns the resource
+// record).
+//
+// Task "execution" is virtual: each task carries its consumption profile and
+// the worker advances it through a scaled wall-clock sleep while enforcing
+// the allocation with the same resource-monitor rules the simulator uses
+// (sim.EvaluateAttempt). This substitutes for running real payloads while
+// exercising a real distributed control path: connection handling,
+// dispatch-time allocation, failure/retry round trips, and concurrent
+// workers.
+//
+// The wire protocol is JSON objects, one per line.
+package wq
+
+import (
+	"dynalloc/internal/resources"
+)
+
+// Message is the single frame type of the protocol; Type selects which
+// fields are meaningful.
+type Message struct {
+	Type string `json:"type"`
+
+	// register (worker -> manager)
+	Capacity resources.Vector `json:"capacity,omitempty"`
+
+	// task (manager -> worker)
+	TaskID   int              `json:"task_id,omitempty"`
+	Category string           `json:"category,omitempty"`
+	Alloc    resources.Vector `json:"alloc,omitempty"`
+	Peak     resources.Vector `json:"peak,omitempty"`
+	Runtime  float64          `json:"runtime,omitempty"`
+
+	// result (worker -> manager)
+	Status   string   `json:"status,omitempty"` // "success" or "exhausted"
+	Duration float64  `json:"duration,omitempty"`
+	Exceeded []string `json:"exceeded,omitempty"`
+
+	// shutdown (manager -> worker)
+}
+
+// Message types.
+const (
+	MsgRegister = "register"
+	MsgTask     = "task"
+	MsgResult   = "result"
+	MsgShutdown = "shutdown"
+)
+
+// Statuses carried by result messages.
+const (
+	StatusSuccess   = "success"
+	StatusExhausted = "exhausted"
+)

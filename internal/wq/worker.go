@@ -1,0 +1,129 @@
+package wq
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+)
+
+// WorkerConfig configures a worker process.
+type WorkerConfig struct {
+	// Capacity the worker advertises. Zero means the paper worker.
+	Capacity resources.Vector
+	// TimeScale converts simulated task seconds into wall-clock sleep:
+	// wall = simulated * TimeScale. Zero means 1e-4 (0.1 ms per simulated
+	// second), which keeps integration runs fast while preserving ordering.
+	TimeScale float64
+	// Model is the consumption profile the virtual monitor enforces.
+	Model sim.ConsumptionModel
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Capacity.IsZero() {
+		c.Capacity = resources.PaperWorker()
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1e-4
+	}
+	return c
+}
+
+// RunWorker connects to the manager at addr, registers, and executes tasks
+// until the manager shuts it down, the connection drops, or ctx is
+// cancelled. Tasks run concurrently; the manager is responsible for not
+// over-committing the advertised capacity (as in Work Queue).
+func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wq: worker dial: %w", err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	enc := json.NewEncoder(conn)
+	var sendMu sync.Mutex
+	send := func(m Message) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return enc.Encode(m)
+	}
+	if err := send(Message{Type: MsgRegister, Capacity: cfg.Capacity}); err != nil {
+		return fmt.Errorf("wq: worker register: %w", err)
+	}
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var m Message
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return fmt.Errorf("wq: worker decoding frame: %w", err)
+		}
+		switch m.Type {
+		case MsgTask:
+			task := m
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := executeTask(ctx, cfg, task)
+				if err := send(res); err != nil && ctx.Err() == nil {
+					// The connection is gone; the manager will requeue.
+					conn.Close()
+				}
+			}()
+		case MsgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("wq: worker received unexpected frame %q", m.Type)
+		}
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("wq: worker connection: %w", err)
+	}
+	return nil
+}
+
+// executeTask virtually executes one task attempt: the resource monitor
+// decides when (and whether) the attempt is killed, and the worker sleeps
+// the scaled duration to model the elapsed run.
+func executeTask(ctx context.Context, cfg WorkerConfig, m Message) Message {
+	duration, exceeded := sim.EvaluateAttempt(cfg.Model, m.Peak, m.Runtime, m.Alloc)
+	wall := time.Duration(duration * cfg.TimeScale * float64(time.Second))
+	if wall > 0 {
+		select {
+		case <-time.After(wall):
+		case <-ctx.Done():
+		}
+	}
+	out := Message{
+		Type:     MsgResult,
+		TaskID:   m.TaskID,
+		Category: m.Category,
+		Peak:     m.Peak,
+		Runtime:  m.Runtime,
+		Alloc:    m.Alloc,
+		Duration: duration,
+		Status:   StatusSuccess,
+	}
+	if len(exceeded) > 0 {
+		out.Status = StatusExhausted
+		for _, k := range exceeded {
+			out.Exceeded = append(out.Exceeded, k.String())
+		}
+	}
+	return out
+}
