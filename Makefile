@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet bench short ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./... -count=1
+
+# The parallel experiment harness is the concurrency-heavy package; run it
+# (and the public facade that drives it) under the race detector.
+race:
+	$(GO) test -race ./internal/harness/... . -count=1
+
+vet:
+	$(GO) vet ./...
+
+short:
+	$(GO) test ./... -short -count=1
+
+bench:
+	$(GO) test ./internal/harness/ -run '^$$' -bench BenchmarkRunGrid -benchmem
+
+ci: vet build test race
+
+clean:
+	rm -rf figures-out

@@ -3,17 +3,22 @@
 // significance weighting, and placement robustness. The measured tables
 // back the Ablations section of EXPERIMENTS.md.
 //
-//	ablate                # everything
+//	ablate                # everything, fanned across -j workers
 //	ablate -only category # one ablation
+//	ablate -j 1           # sequential
+//
+// Ctrl-C cancels in-flight simulations promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"dynalloc/internal/harness"
-	"dynalloc/internal/report"
 )
 
 func main() {
@@ -21,41 +26,42 @@ func main() {
 		seed  = flag.Uint64("seed", 42, "random seed")
 		tasks = flag.Int("tasks", 0, "synthetic task count (0 = paper's 1000)")
 		only  = flag.String("only", "", "run one ablation: model, exploration, buckets, category, significance, placement")
+		jobs  = flag.Int("j", 0, "ablations to run concurrently (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	type ablation struct {
-		name string
-		run  func() (*report.Table, error)
-	}
-	suite := []ablation{
-		{"model", func() (*report.Table, error) { return harness.AblateConsumptionModel(*seed, "normal", *tasks) }},
-		{"exploration", func() (*report.Table, error) { return harness.AblateExploration(*seed, "bimodal", *tasks, nil) }},
-		{"buckets", func() (*report.Table, error) { return harness.AblateMaxBuckets(*seed, "trimodal", *tasks, nil) }},
-		{"category", func() (*report.Table, error) { return harness.AblateCategoryIsolation(*seed) }},
-		{"significance", func() (*report.Table, error) { return harness.AblateSignificance(*seed, "trimodal", *tasks) }},
-		{"placement", func() (*report.Table, error) { return harness.AblatePlacement(*seed, "bimodal", *tasks) }},
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	suite := harness.AblationSuite(*seed, *tasks)
+	if *only != "" {
+		var picked []harness.Ablation
+		for _, a := range suite {
+			if a.Name == *only {
+				picked = append(picked, a)
+			}
+		}
+		if len(picked) == 0 {
+			var names []string
+			for _, a := range suite {
+				names = append(names, a.Name)
+			}
+			fmt.Fprintf(os.Stderr, "ablate: unknown ablation %q (have: %s)\n", *only, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		suite = picked
 	}
 
-	ran := false
-	for _, a := range suite {
-		if *only != "" && *only != a.name {
-			continue
-		}
-		tab, err := a.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ablate: %s: %v\n", a.name, err)
-			os.Exit(1)
-		}
+	tables, err := harness.RunAblations(ctx, suite, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+	for _, tab := range tables {
 		if err := tab.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ablate:", err)
 			os.Exit(1)
 		}
 		fmt.Println()
-		ran = true
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "ablate: unknown ablation %q\n", *only)
-		os.Exit(2)
 	}
 }

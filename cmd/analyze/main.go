@@ -1,6 +1,7 @@
 // Command analyze recomputes the paper's metrics from saved run logs
 // (written by vinesim -log) without re-running the simulation, and compares
-// several logs side by side.
+// several logs side by side. Logs are read and replayed across -j worker
+// goroutines; the output order always matches the argument order.
 //
 //	vinesim -workflow topeft -algorithm exhaustive-bucketing -log eb.jsonl
 //	vinesim -workflow topeft -algorithm max-seen -log ms.jsonl
@@ -11,7 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dynalloc/internal/report"
 	"dynalloc/internal/resources"
@@ -20,45 +24,87 @@ import (
 
 func main() {
 	perCategory := flag.Bool("by-category", false, "break metrics down per task category")
+	jobs := flag.Int("j", 0, "run logs to replay concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyze [-by-category] <runlog.jsonl>...")
+		fmt.Fprintln(os.Stderr, "usage: analyze [-by-category] [-j N] <runlog.jsonl>...")
 		os.Exit(2)
 	}
+
+	paths := flag.Args()
+	rowsPerLog := make([][][]any, len(paths))
+	errs := make([]error, len(paths))
+	parallelism := *jobs
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(paths) {
+		parallelism = len(paths)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(paths) {
+					return
+				}
+				rowsPerLog[i], errs[i] = replayLog(paths[i], *perCategory)
+			}
+		}()
+	}
+	wg.Wait()
 
 	tab := report.New("Run log analysis",
 		"log", "workload", "algorithm", "tasks", "retries",
 		"cores AWE", "memory AWE", "disk AWE")
-	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		fatalIf(err)
-		log, err := runlog.Read(f)
-		f.Close()
-		fatalIf(err)
-		acc := runlog.Replay(log)
-		tab.AddRow(path, log.Header.Workload, log.Header.Algorithm,
-			acc.Tasks(), acc.Retries(),
-			report.Percent(acc.AWE(resources.Cores)),
-			report.Percent(acc.AWE(resources.Memory)),
-			report.Percent(acc.AWE(resources.Disk)))
-
-		if *perCategory {
-			byCat := runlog.ReplayByCategory(log)
-			cats := make([]string, 0, len(byCat))
-			for cat := range byCat {
-				cats = append(cats, cat)
-			}
-			sort.Strings(cats)
-			for _, cat := range cats {
-				acc := byCat[cat]
-				tab.AddRow("  - "+cat, "", "", acc.Tasks(), acc.Retries(),
-					report.Percent(acc.AWE(resources.Cores)),
-					report.Percent(acc.AWE(resources.Memory)),
-					report.Percent(acc.AWE(resources.Disk)))
-			}
+	for i, rows := range rowsPerLog {
+		fatalIf(errs[i])
+		for _, row := range rows {
+			tab.AddRow(row...)
 		}
 	}
 	fatalIf(tab.Render(os.Stdout))
+}
+
+// replayLog reads one run log and returns its table rows: the aggregate
+// row first, then one row per category when perCategory is set.
+func replayLog(path string, perCategory bool) ([][]any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	log, err := runlog.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	acc := runlog.Replay(log)
+	rows := [][]any{{path, log.Header.Workload, log.Header.Algorithm,
+		acc.Tasks(), acc.Retries(),
+		report.Percent(acc.AWE(resources.Cores)),
+		report.Percent(acc.AWE(resources.Memory)),
+		report.Percent(acc.AWE(resources.Disk))}}
+
+	if perCategory {
+		byCat := runlog.ReplayByCategory(log)
+		cats := make([]string, 0, len(byCat))
+		for cat := range byCat {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+		for _, cat := range cats {
+			acc := byCat[cat]
+			rows = append(rows, []any{"  - " + cat, "", "", acc.Tasks(), acc.Retries(),
+				report.Percent(acc.AWE(resources.Cores)),
+				report.Percent(acc.AWE(resources.Memory)),
+				report.Percent(acc.AWE(resources.Disk))})
+		}
+	}
+	return rows, nil
 }
 
 func fatalIf(err error) {

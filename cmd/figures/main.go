@@ -11,15 +11,20 @@
 //
 // Figure 5/6 runs use the fast sequential driver by default; pass -des to
 // run the full discrete-event simulation on the paper's 20-to-50-worker
-// opportunistic pool.
+// opportunistic pool. Grid cells fan out across -j worker goroutines
+// (default GOMAXPROCS) with identical results at any parallelism; Ctrl-C
+// cancels in-flight simulations promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"dynalloc/internal/allocator"
 	"dynalloc/internal/harness"
@@ -43,14 +48,25 @@ func main() {
 		outdir   = flag.String("outdir", "figures-out", "directory for CSV series (figures 2 and 4)")
 		reps     = flag.Int("reps", 10, "measurement repetitions for table 1")
 		seeds    = flag.Int("seeds", 1, "replicate figures 5/6 across this many seeds and report mean ± sd")
+		jobs     = flag.Int("j", 0, "grid cells to simulate concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		progress = flag.Bool("progress", false, "report each completed grid cell on stderr")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cm, err := sim.ParseConsumptionModel(*model)
 	fatalIf(err)
-	opts := harness.Options{Seed: *seed, Tasks: *tasks, UseDES: *useDES, Model: cm}
+	opts := harness.Options{Seed: *seed, Tasks: *tasks, UseDES: *useDES, Model: cm, Parallelism: *jobs}
 	if *extended {
 		opts.Algorithms = allocator.ExtendedNames()
+	}
+	if *progress {
+		opts.Progress = func(p harness.Progress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s done in %s\n",
+				p.Done, p.Total, p.Cell.Workload, p.Cell.Algorithm, p.Cell.Elapsed.Round(time.Millisecond))
+		}
 	}
 
 	ran := false
@@ -65,13 +81,13 @@ func main() {
 	run(4, fig, func() { fig4(*seed, *tasks, *outdir, *asPlot) })
 	run(5, fig, func() {
 		if *seeds > 1 {
-			fig5Replicated(opts, *seeds)
+			fig5Replicated(ctx, opts, *seeds)
 		} else {
-			fig56(opts, true, *asPlot)
+			fig56(ctx, opts, true, *asPlot)
 		}
 	})
-	run(6, fig, func() { fig56(opts, false, false) })
-	run(1, table, func() { table1(*seed, *reps) })
+	run(6, fig, func() { fig56(ctx, opts, false, false) })
+	run(1, table, func() { table1(ctx, *seed, *reps) })
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -139,8 +155,8 @@ func writeSeries(outdir, prefix string, series map[string][]trace.TaskPoint) {
 
 // fig56 runs the shared grid and renders Figure 5 (AWE) or Figure 6
 // (waste).
-func fig56(opts harness.Options, five bool, asPlot bool) {
-	cells, err := harness.RunGrid(opts)
+func fig56(ctx context.Context, opts harness.Options, five bool, asPlot bool) {
+	cells, err := harness.RunGridContext(ctx, opts)
 	fatalIf(err)
 	if five {
 		for _, tab := range harness.Fig5Tables(cells, opts) {
@@ -160,8 +176,8 @@ func fig56(opts harness.Options, five bool, asPlot bool) {
 
 // fig5Replicated runs the Figure 5 grid across several seeds and reports
 // mean ± standard deviation per cell.
-func fig5Replicated(opts harness.Options, seeds int) {
-	cells, err := harness.RunGridReplicated(opts, seeds)
+func fig5Replicated(ctx context.Context, opts harness.Options, seeds int) {
+	cells, err := harness.RunGridReplicatedContext(ctx, opts, seeds)
 	fatalIf(err)
 	for _, k := range resources.AllocatedKinds() {
 		fatalIf(harness.ReplicatedTable(cells, opts, k, seeds).Render(os.Stdout))
@@ -169,8 +185,9 @@ func fig5Replicated(opts harness.Options, seeds int) {
 	}
 }
 
-func table1(seed uint64, reps int) {
-	rows := harness.Table1(seed, reps)
+func table1(ctx context.Context, seed uint64, reps int) {
+	rows, err := harness.Table1Context(ctx, seed, reps)
+	fatalIf(err)
 	fatalIf(harness.Table1Report(rows).Render(os.Stdout))
 	fmt.Println()
 }

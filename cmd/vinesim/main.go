@@ -7,15 +7,26 @@
 //	vinesim -workflow topeft -algorithm exhaustive-bucketing
 //	vinesim -workflow normal -tasks 5000 -algorithm max-seen -des -pool backfill:20:50:120
 //	vinesim -workflow-file trace.json -algorithm greedy-bucketing -json
+//
+// A comma-separated -algorithm list compares algorithms on the same
+// workload side by side, fanned across -j worker goroutines; Ctrl-C
+// cancels in-flight simulations promptly.
+//
+//	vinesim -workflow topeft -algorithm max-seen,greedy-bucketing,exhaustive-bucketing -j 4
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
+
+	"dynalloc/internal/harness"
 
 	"dynalloc/internal/allocator"
 	"dynalloc/internal/condor"
@@ -33,7 +44,7 @@ func main() {
 	var (
 		wfName   = flag.String("workflow", "normal", "workload: "+strings.Join(workflow.Names(), ", "))
 		wfFile   = flag.String("workflow-file", "", "load the workload from a JSON trace instead of generating it")
-		algName  = flag.String("algorithm", string(allocator.Exhaustive), "allocation algorithm")
+		algName  = flag.String("algorithm", string(allocator.Exhaustive), "allocation algorithm, or a comma-separated list to compare")
 		tasks    = flag.Int("tasks", 0, "synthetic task count (0 = paper's 1000)")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		model    = flag.String("model", sim.RampEarly.String(), "consumption model: ramp-early, ramp-linear, peak-at-end, peak-immediate")
@@ -44,12 +55,25 @@ func main() {
 		logPath  = flag.String("log", "", "write a replayable run log (JSON lines) to this file")
 		place    = flag.String("placement", sim.FirstFit.String(), "worker placement for -des: first-fit, worst-fit, best-fit, locality")
 		withData = flag.Bool("data", false, "enable the TaskVine-style data layer (file staging and caches) for -des")
+		jobs     = flag.Int("j", 0, "concurrent simulations when comparing algorithms (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	w, err := loadWorkflow(*wfFile, *wfName, *tasks, *seed)
-	fatalIf(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cm, err := sim.ParseConsumptionModel(*model)
+	fatalIf(err)
+
+	if algs := strings.Split(*algName, ","); len(algs) > 1 {
+		if *wfFile != "" || *oracle {
+			fatalIf(fmt.Errorf("-algorithm lists support generated workloads only (no -workflow-file, no -oracle)"))
+		}
+		compareAlgorithms(ctx, *wfName, algs, *tasks, *seed, cm, *useDES, *poolSpec, *jobs)
+		return
+	}
+
+	w, err := loadWorkflow(*wfFile, *wfName, *tasks, *seed)
 	fatalIf(err)
 
 	var policy allocator.Policy
@@ -73,13 +97,13 @@ func main() {
 			layer = vine.NewLayer()
 			vine.Attach(layer, w, *seed)
 		}
-		res, err = sim.Run(sim.Config{
+		res, err = sim.RunContext(ctx, sim.Config{
 			Workflow: w, Policy: policy, Pool: pool, PoolSeed: *seed, Model: cm,
 			Place: placement, Data: layer,
 		})
 		fatalIf(err)
 	} else {
-		res, err = sim.RunSequential(w, policy, cm, 0)
+		res, err = sim.RunSequentialContext(ctx, w, policy, cm, 0)
 		fatalIf(err)
 	}
 
@@ -112,6 +136,39 @@ func main() {
 		tab.AddRow(ks.Kind, report.Percent(ks.AWE),
 			fmt.Sprintf("%.4g", ks.Consumption), fmt.Sprintf("%.4g", ks.Allocation),
 			fmt.Sprintf("%.4g", ks.InternalFragmentation), fmt.Sprintf("%.4g", ks.FailedAllocation))
+	}
+	fatalIf(tab.Render(os.Stdout))
+}
+
+// compareAlgorithms runs one workload under several algorithms through the
+// parallel experiment harness and renders a side-by-side metrics table.
+func compareAlgorithms(ctx context.Context, wfName string, algNames []string, tasks int, seed uint64, cm sim.ConsumptionModel, useDES bool, poolSpec string, jobs int) {
+	algs := make([]allocator.Name, len(algNames))
+	for i, s := range algNames {
+		alg, err := allocator.ParseName(strings.TrimSpace(s))
+		fatalIf(err)
+		algs[i] = alg
+	}
+	opts := harness.Options{
+		Seed: seed, Tasks: tasks, Model: cm, UseDES: useDES,
+		Workloads: []string{wfName}, Algorithms: algs, Parallelism: jobs,
+	}
+	if useDES {
+		pool, err := parsePool(poolSpec)
+		fatalIf(err)
+		opts.Pool = pool
+	}
+	cells, err := harness.RunGridContext(ctx, opts)
+	fatalIf(err)
+	tab := report.New(fmt.Sprintf("%s — algorithm comparison", wfName),
+		"algorithm", "cores AWE", "memory AWE", "disk AWE", "retries", "elapsed")
+	for _, c := range cells {
+		tab.AddRow(string(c.Algorithm),
+			report.Percent(c.AWE(resources.Cores)),
+			report.Percent(c.AWE(resources.Memory)),
+			report.Percent(c.AWE(resources.Disk)),
+			c.Summary.Retries,
+			c.Elapsed.Round(time.Millisecond).String())
 	}
 	fatalIf(tab.Render(os.Stdout))
 }

@@ -1,6 +1,8 @@
 package dynalloc
 
 import (
+	"context"
+
 	"dynalloc/internal/allocator"
 	"dynalloc/internal/condor"
 	"dynalloc/internal/flow"
@@ -112,9 +114,30 @@ const (
 	PeakImmediate = sim.PeakImmediate
 )
 
+// Sentinel errors. Match them with errors.Is; every error carrying one of
+// these conditions wraps the corresponding sentinel.
+var (
+	// ErrUnknownAlgorithm reports an algorithm name that matches no known
+	// allocation algorithm.
+	ErrUnknownAlgorithm = allocator.ErrUnknownAlgorithm
+	// ErrUnknownWorkflow reports a workload name that matches no evaluation
+	// workload.
+	ErrUnknownWorkflow = workflow.ErrUnknownWorkflow
+	// ErrCanceled reports a simulation or experiment sweep aborted by its
+	// context; the context's own error is wrapped alongside it.
+	ErrCanceled = sim.ErrCanceled
+)
+
 // Simulate runs the discrete-event simulation: dispatch, placement,
 // enforcement, retries, and opportunistic worker churn.
 func Simulate(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
+
+// SimulateContext is Simulate under a context: the event loop checks ctx
+// at event boundaries and aborts with an error wrapping ErrCanceled once
+// the context is done.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*Result, error) {
+	return sim.RunContext(ctx, cfg)
+}
 
 // SimulateSequential runs the fast pool-free driver: tasks execute in
 // submission order with the same allocation semantics. AWE is
@@ -122,6 +145,12 @@ func Simulate(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
 // quickly.
 func SimulateSequential(w *Workflow, p Policy, model ConsumptionModel) (*Result, error) {
 	return sim.RunSequential(w, p, model, 0)
+}
+
+// SimulateSequentialContext is SimulateSequential under a context, checked
+// between tasks.
+func SimulateSequentialContext(ctx context.Context, w *Workflow, p Policy, model ConsumptionModel) (*Result, error) {
+	return sim.RunSequentialContext(ctx, w, p, model, 0)
 }
 
 // NewOracle returns the unrealizable optimal policy (allocation equals
@@ -221,15 +250,73 @@ func PerturbWorkflow(w *Workflow, p Perturbation, seed uint64) *Workflow {
 type (
 	// ExperimentOptions configure a figure/table reproduction run.
 	ExperimentOptions = harness.Options
+	// ExperimentOption is the functional-option form of ExperimentOptions.
+	ExperimentOption = harness.Option
+	// ExperimentProgress reports one completed grid cell to a WithProgress
+	// callback.
+	ExperimentProgress = harness.Progress
 	// ExperimentCell is one (workload, algorithm) result.
 	ExperimentCell = harness.Cell
 	// ReportTable is a renderable result table.
 	ReportTable = report.Table
 )
 
+// Experiment options for ReproduceGridContext. Options compose left to
+// right over the ExperimentOptions base value.
+
+// WithSeed sets the base random seed of the sweep.
+func WithSeed(seed uint64) ExperimentOption { return harness.WithSeed(seed) }
+
+// WithTasks sets the synthetic workload task count (0 = the paper's 1000).
+func WithTasks(n int) ExperimentOption { return harness.WithTasks(n) }
+
+// WithModel sets the task consumption profile.
+func WithModel(m ConsumptionModel) ExperimentOption { return harness.WithModel(m) }
+
+// WithDES selects the full discrete-event pool simulation over the fast
+// sequential driver.
+func WithDES(use bool) ExperimentOption { return harness.WithDES(use) }
+
+// WithPool sets the worker pool model for DES runs.
+func WithPool(p PoolModel) ExperimentOption { return harness.WithPool(p) }
+
+// WithWorkloads restricts the workload set (default: all seven).
+func WithWorkloads(names ...string) ExperimentOption { return harness.WithWorkloads(names...) }
+
+// WithAlgorithms restricts the algorithm set (default: all seven).
+func WithAlgorithms(algs ...AlgorithmName) ExperimentOption {
+	return harness.WithAlgorithms(algs...)
+}
+
+// WithAllocatorConfig overrides allocator settings (Seed stays managed by
+// the harness).
+func WithAllocatorConfig(cfg AllocatorConfig) ExperimentOption {
+	return harness.WithAllocatorConfig(cfg)
+}
+
+// WithParallelism bounds how many grid cells run concurrently
+// (0 = GOMAXPROCS, 1 = sequential). Cell results are identical at any
+// parallelism.
+func WithParallelism(n int) ExperimentOption { return harness.WithParallelism(n) }
+
+// WithProgress installs a per-cell completion callback; calls are
+// serialized with monotone Done counts.
+func WithProgress(fn func(ExperimentProgress)) ExperimentOption {
+	return harness.WithProgress(fn)
+}
+
 // ReproduceGrid runs the (workload x algorithm) grid behind Figures 5 and 6.
 func ReproduceGrid(opts ExperimentOptions) ([]ExperimentCell, error) {
 	return harness.RunGrid(opts)
+}
+
+// ReproduceGridContext runs the grid across WithParallelism worker
+// goroutines under a context. Cells are returned in workload-major order
+// and are byte-for-byte identical to a sequential run at any parallelism;
+// cancellation aborts in-flight simulations promptly with an error
+// wrapping ErrCanceled.
+func ReproduceGridContext(ctx context.Context, opts ExperimentOptions, extra ...ExperimentOption) ([]ExperimentCell, error) {
+	return harness.RunGridContext(ctx, opts, extra...)
 }
 
 // Figure5 renders the Absolute Workflow Efficiency tables from grid cells.
@@ -246,4 +333,13 @@ func Figure6(cells []ExperimentCell, opts ExperimentOptions) []*ReportTable {
 // counts and renders the paper's Table I.
 func TableI(seed uint64, reps int) *ReportTable {
 	return harness.Table1Report(harness.Table1(seed, reps))
+}
+
+// TableIContext is TableI under a context, checked between timing cells.
+func TableIContext(ctx context.Context, seed uint64, reps int) (*ReportTable, error) {
+	rows, err := harness.Table1Context(ctx, seed, reps)
+	if err != nil {
+		return nil, err
+	}
+	return harness.Table1Report(rows), nil
 }

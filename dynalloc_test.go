@@ -1,6 +1,9 @@
 package dynalloc_test
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 
@@ -168,5 +171,62 @@ func TestPublicAPIExperiments(t *testing.T) {
 	}
 	if len(dynalloc.Figure6(cells, opts)) != 3 {
 		t.Error("Figure6 should emit one table per kind")
+	}
+}
+
+func TestPublicAPIContextAndOptions(t *testing.T) {
+	// The option-based entry point must agree with the struct-based one.
+	opts := dynalloc.ExperimentOptions{
+		Seed:       9,
+		Tasks:      40,
+		Workloads:  []string{"uniform"},
+		Algorithms: []dynalloc.AlgorithmName{dynalloc.MaxSeen},
+	}
+	want, err := dynalloc.ReproduceGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progressed int
+	got, err := dynalloc.ReproduceGridContext(context.Background(), dynalloc.ExperimentOptions{},
+		dynalloc.WithSeed(9), dynalloc.WithTasks(40),
+		dynalloc.WithWorkloads("uniform"), dynalloc.WithAlgorithms(dynalloc.MaxSeen),
+		dynalloc.WithParallelism(2),
+		dynalloc.WithProgress(func(dynalloc.ExperimentProgress) { progressed++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0].Makespan != want[0].Makespan ||
+		fmt.Sprintf("%#v", got[0].Summary) != fmt.Sprintf("%#v", want[0].Summary) {
+		t.Error("option-based grid diverged from struct-based grid")
+	}
+	if progressed != len(got) {
+		t.Errorf("progress fired %d times for %d cells", progressed, len(got))
+	}
+}
+
+func TestPublicAPISentinelErrors(t *testing.T) {
+	if _, err := dynalloc.GenerateWorkflow("bogus", 10, 1); !errors.Is(err, dynalloc.ErrUnknownWorkflow) {
+		t.Errorf("GenerateWorkflow err = %v, want ErrUnknownWorkflow", err)
+	}
+	if _, err := dynalloc.NewAllocator("bogus", dynalloc.AllocatorConfig{}); !errors.Is(err, dynalloc.ErrUnknownAlgorithm) {
+		t.Errorf("NewAllocator err = %v, want ErrUnknownAlgorithm", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, err := dynalloc.GenerateWorkflow("normal", 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dynalloc.SimulateContext(ctx, dynalloc.SimConfig{
+		Workflow: w,
+		Policy:   dynalloc.NewOracle(w),
+		Pool:     dynalloc.StaticPool(4),
+	})
+	if !errors.Is(err, dynalloc.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("SimulateContext err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if _, err := dynalloc.ReproduceGridContext(ctx, dynalloc.ExperimentOptions{Tasks: 20}); !errors.Is(err, dynalloc.ErrCanceled) {
+		t.Errorf("ReproduceGridContext err = %v, want ErrCanceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package allocator
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -37,6 +38,10 @@ func PredictiveNames() []Name {
 	return []Name{MaxSeen, MinWaste, MaxThroughput, Quantized, Greedy, Exhaustive}
 }
 
+// ErrUnknownAlgorithm is returned (wrapped) when an algorithm name does not
+// match any known algorithm. Match it with errors.Is.
+var ErrUnknownAlgorithm = errors.New("allocator: unknown algorithm")
+
 // ParseName validates an algorithm name string. Both the paper's seven
 // algorithms and the extensions are accepted.
 func ParseName(s string) (Name, error) {
@@ -45,13 +50,19 @@ func ParseName(s string) (Name, error) {
 			return n, nil
 		}
 	}
-	return "", fmt.Errorf("allocator: unknown algorithm %q", s)
+	return "", fmt.Errorf("%w %q", ErrUnknownAlgorithm, s)
 }
 
 // Policy is the contract between the task scheduler and a resource
 // allocator (Figure 3a): the scheduler asks for an allocation for every
 // ready task, reports failed attempts to obtain escalated allocations, and
 // feeds back the resource record of every completed task.
+//
+// Concurrency: a Policy is stateful, so implementations are only required
+// to be safe when a single simulation drives them at a time. The parallel
+// experiment harness satisfies this by constructing one Policy instance per
+// grid cell; *Allocator additionally serializes its methods with a mutex
+// and is safe to share across goroutines.
 type Policy interface {
 	// Allocate returns the first-attempt allocation for a task.
 	Allocate(category string, taskID int) resources.Vector

@@ -1,6 +1,7 @@
 package allocator
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -14,8 +15,8 @@ func TestParseName(t *testing.T) {
 			t.Errorf("ParseName(%q) = %v, %v", n, got, err)
 		}
 	}
-	if _, err := ParseName("nope"); err == nil {
-		t.Error("ParseName(nope) should fail")
+	if _, err := ParseName("nope"); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("ParseName(nope) = %v, want ErrUnknownAlgorithm", err)
 	}
 	if len(Names()) != 7 {
 		t.Errorf("Names() has %d entries, want 7", len(Names()))
@@ -26,8 +27,8 @@ func TestParseName(t *testing.T) {
 }
 
 func TestNewRejectsUnknown(t *testing.T) {
-	if _, err := New(Name("bogus"), Config{}); err == nil {
-		t.Error("New with unknown algorithm should fail")
+	if _, err := New(Name("bogus"), Config{}); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Error("New with unknown algorithm should return ErrUnknownAlgorithm")
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dynalloc/internal/allocator"
@@ -17,8 +18,8 @@ import (
 // robustness. Each returns a rendered table; cmd/ablate prints them and
 // bench_test.go exposes the same sweeps as benchmarks.
 
-func ablationRow(w *workflow.Workflow, pol allocator.Policy, model sim.ConsumptionModel) (awe float64, retries int, err error) {
-	res, err := sim.RunSequential(w, pol, model, 0)
+func ablationRow(ctx context.Context, w *workflow.Workflow, pol allocator.Policy, model sim.ConsumptionModel) (awe float64, retries int, err error) {
+	res, err := sim.RunSequentialContext(ctx, w, pol, model, 0)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -27,7 +28,7 @@ func ablationRow(w *workflow.Workflow, pol allocator.Policy, model sim.Consumpti
 
 // AblateConsumptionModel sweeps the consumption profiles on one workload
 // with Exhaustive Bucketing.
-func AblateConsumptionModel(seed uint64, workloadName string, tasks int) (*report.Table, error) {
+func AblateConsumptionModel(ctx context.Context, seed uint64, workloadName string, tasks int) (*report.Table, error) {
 	w, err := workflow.ByName(workloadName, tasks, seed)
 	if err != nil {
 		return nil, err
@@ -37,7 +38,7 @@ func AblateConsumptionModel(seed uint64, workloadName string, tasks int) (*repor
 		"model", "memory AWE", "retries")
 	for _, m := range sim.Models() {
 		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: seed})
-		awe, retries, err := ablationRow(w, pol, m)
+		awe, retries, err := ablationRow(ctx, w, pol, m)
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +48,7 @@ func AblateConsumptionModel(seed uint64, workloadName string, tasks int) (*repor
 }
 
 // AblateExploration sweeps the exploratory-mode record threshold.
-func AblateExploration(seed uint64, workloadName string, tasks int, counts []int) (*report.Table, error) {
+func AblateExploration(ctx context.Context, seed uint64, workloadName string, tasks int, counts []int) (*report.Table, error) {
 	if len(counts) == 0 {
 		counts = []int{1, 5, 10, 25, 50}
 	}
@@ -60,7 +61,7 @@ func AblateExploration(seed uint64, workloadName string, tasks int, counts []int
 		"records", "memory AWE", "retries")
 	for _, c := range counts {
 		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: seed, ExploreCount: c})
-		awe, retries, err := ablationRow(w, pol, sim.RampEarly)
+		awe, retries, err := ablationRow(ctx, w, pol, sim.RampEarly)
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +71,7 @@ func AblateExploration(seed uint64, workloadName string, tasks int, counts []int
 }
 
 // AblateMaxBuckets sweeps Exhaustive Bucketing's bucket cap.
-func AblateMaxBuckets(seed uint64, workloadName string, tasks int, caps []int) (*report.Table, error) {
+func AblateMaxBuckets(ctx context.Context, seed uint64, workloadName string, tasks int, caps []int) (*report.Table, error) {
 	if len(caps) == 0 {
 		caps = []int{1, 2, 3, 5, 10, 20}
 	}
@@ -83,7 +84,7 @@ func AblateMaxBuckets(seed uint64, workloadName string, tasks int, caps []int) (
 		"cap", "memory AWE", "retries")
 	for _, c := range caps {
 		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: seed, MaxBuckets: c})
-		awe, retries, err := ablationRow(w, pol, sim.RampEarly)
+		awe, retries, err := ablationRow(ctx, w, pol, sim.RampEarly)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +96,7 @@ func AblateMaxBuckets(seed uint64, workloadName string, tasks int, caps []int) (
 // AblateCategoryIsolation compares per-category estimator states against a
 // single pooled state on the multi-category ColmenaXTB workload
 // (Section III-B).
-func AblateCategoryIsolation(seed uint64) (*report.Table, error) {
+func AblateCategoryIsolation(ctx context.Context, seed uint64) (*report.Table, error) {
 	w := workflow.ColmenaXTB(seed)
 	tab := report.New(
 		"Ablation — category isolation (colmena, exhaustive-bucketing)",
@@ -106,7 +107,7 @@ func AblateCategoryIsolation(seed uint64) (*report.Table, error) {
 			mode = "category-blind"
 		}
 		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: seed, IgnoreCategories: blind})
-		awe, retries, err := ablationRow(w, pol, sim.RampEarly)
+		awe, retries, err := ablationRow(ctx, w, pol, sim.RampEarly)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +118,7 @@ func AblateCategoryIsolation(seed uint64) (*report.Table, error) {
 
 // AblateSignificance compares the paper's task-ID recency weighting against
 // flat significance on a phasing workload (Section IV-A).
-func AblateSignificance(seed uint64, workloadName string, tasks int) (*report.Table, error) {
+func AblateSignificance(ctx context.Context, seed uint64, workloadName string, tasks int) (*report.Table, error) {
 	w, err := workflow.ByName(workloadName, tasks, seed)
 	if err != nil {
 		return nil, err
@@ -131,7 +132,7 @@ func AblateSignificance(seed uint64, workloadName string, tasks int) (*report.Ta
 			mode = "flat"
 		}
 		pol := allocator.MustNew(allocator.Greedy, allocator.Config{Seed: seed, FlatSignificance: flat})
-		awe, retries, err := ablationRow(w, pol, sim.RampEarly)
+		awe, retries, err := ablationRow(ctx, w, pol, sim.RampEarly)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +144,7 @@ func AblateSignificance(seed uint64, workloadName string, tasks int) (*report.Ta
 // AblatePlacement runs the discrete-event simulation across placement
 // policies, verifying the allocator's efficiency is robust to
 // scheduling-order stochasticity (Section II-D1).
-func AblatePlacement(seed uint64, workloadName string, tasks int) (*report.Table, error) {
+func AblatePlacement(ctx context.Context, seed uint64, workloadName string, tasks int) (*report.Table, error) {
 	w, err := workflow.ByName(workloadName, tasks, seed)
 	if err != nil {
 		return nil, err
@@ -156,7 +157,7 @@ func AblatePlacement(seed uint64, workloadName string, tasks int) (*report.Table
 			continue // needs the data layer; covered by the data tests
 		}
 		pol := allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: seed})
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunContext(ctx, sim.Config{
 			Workflow: w,
 			Policy:   pol,
 			Pool:     opportunistic.Static{N: 10},
@@ -169,4 +170,56 @@ func AblatePlacement(seed uint64, workloadName string, tasks int) (*report.Table
 			res.Acc.Retries(), fmt.Sprintf("%.0fs", res.Makespan))
 	}
 	return tab, nil
+}
+
+// An Ablation is one named sweep of the design-choice suite.
+type Ablation struct {
+	Name string
+	Run  func(ctx context.Context) (*report.Table, error)
+}
+
+// AblationSuite returns the full suite in its canonical order, bound to a
+// seed and synthetic task count. The workload choices per ablation match
+// cmd/ablate and EXPERIMENTS.md.
+func AblationSuite(seed uint64, tasks int) []Ablation {
+	return []Ablation{
+		{"model", func(ctx context.Context) (*report.Table, error) {
+			return AblateConsumptionModel(ctx, seed, "normal", tasks)
+		}},
+		{"exploration", func(ctx context.Context) (*report.Table, error) {
+			return AblateExploration(ctx, seed, "bimodal", tasks, nil)
+		}},
+		{"buckets", func(ctx context.Context) (*report.Table, error) {
+			return AblateMaxBuckets(ctx, seed, "trimodal", tasks, nil)
+		}},
+		{"category", func(ctx context.Context) (*report.Table, error) {
+			return AblateCategoryIsolation(ctx, seed)
+		}},
+		{"significance", func(ctx context.Context) (*report.Table, error) {
+			return AblateSignificance(ctx, seed, "trimodal", tasks)
+		}},
+		{"placement", func(ctx context.Context) (*report.Table, error) {
+			return AblatePlacement(ctx, seed, "bimodal", tasks)
+		}},
+	}
+}
+
+// RunAblations runs the given ablations across parallelism worker
+// goroutines (0 = GOMAXPROCS) and returns their tables in input order. The
+// first failure — or ctx cancellation, reported wrapping sim.ErrCanceled —
+// cancels the remaining sweeps.
+func RunAblations(ctx context.Context, ablations []Ablation, parallelism int) ([]*report.Table, error) {
+	tables := make([]*report.Table, len(ablations))
+	err := runIndexed(ctx, len(ablations), parallelism, func(ctx context.Context, i int) error {
+		tab, err := ablations[i].Run(ctx)
+		if err != nil {
+			return fmt.Errorf("harness: ablation %s: %w", ablations[i].Name, err)
+		}
+		tables[i] = tab
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
 }

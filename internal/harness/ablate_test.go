@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,29 +23,30 @@ func TestAblationSuiteSmall(t *testing.T) {
 		return buf.String()
 	}
 	const tasks = 60
-	out := renderToString(AblateConsumptionModel(1, "normal", tasks))
+	ctx := context.Background()
+	out := renderToString(AblateConsumptionModel(ctx, 1, "normal", tasks))
 	for _, want := range []string{"ramp-early", "ramp-linear", "peak-at-end", "peak-immediate"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("consumption ablation missing %q:\n%s", want, out)
 		}
 	}
 
-	out = renderToString(AblateExploration(1, "bimodal", tasks, []int{1, 10}))
+	out = renderToString(AblateExploration(ctx, 1, "bimodal", tasks, []int{1, 10}))
 	if !strings.Contains(out, "10") {
 		t.Errorf("exploration ablation malformed:\n%s", out)
 	}
 
-	out = renderToString(AblateMaxBuckets(1, "trimodal", tasks, []int{1, 5}))
+	out = renderToString(AblateMaxBuckets(ctx, 1, "trimodal", tasks, []int{1, 5}))
 	if strings.Count(out, "%") < 2 {
 		t.Errorf("bucket-cap ablation malformed:\n%s", out)
 	}
 
-	out = renderToString(AblateSignificance(1, "trimodal", tasks))
+	out = renderToString(AblateSignificance(ctx, 1, "trimodal", tasks))
 	if !strings.Contains(out, "task-id") || !strings.Contains(out, "flat") {
 		t.Errorf("significance ablation malformed:\n%s", out)
 	}
 
-	out = renderToString(AblatePlacement(1, "uniform", tasks))
+	out = renderToString(AblatePlacement(ctx, 1, "uniform", tasks))
 	for _, want := range []string{"first-fit", "worst-fit", "best-fit"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("placement ablation missing %q:\n%s", want, out)
@@ -58,7 +60,7 @@ func TestAblationSuiteSmall(t *testing.T) {
 func TestAblateCategoryIsolationDirection(t *testing.T) {
 	// The paper's Section III-B argument must hold: per-category beats
 	// category-blind on ColmenaXTB. Extract the two percentages.
-	tab, err := AblateCategoryIsolation(7)
+	tab, err := AblateCategoryIsolation(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,6 +48,15 @@ type Options struct {
 	// AllocatorConfig overrides allocator settings (Seed is managed by the
 	// harness).
 	AllocatorConfig allocator.Config
+	// Parallelism bounds how many grid cells run concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Results are identical at any
+	// parallelism: each cell's seed derives from its grid position rather
+	// than completion order, each cell owns its own Policy instance, and
+	// workflows are shared read-only.
+	Parallelism int
+	// Progress, when non-nil, is called after every completed cell. Calls
+	// are serialized, so the callback needs no locking of its own.
+	Progress func(Progress)
 }
 
 func (o Options) withDefaults() Options {
@@ -93,48 +103,95 @@ func (c Cell) Kind(k resources.Kind) metrics.KindSummary {
 
 // RunGrid executes every (workload, algorithm) pair of the options and
 // returns one cell per pair, in workload-major order. This is the engine
-// behind Figures 5 and 6.
+// behind Figures 5 and 6. It is RunGridContext without cancellation.
 func RunGrid(opts Options) ([]Cell, error) {
+	return RunGridContext(context.Background(), opts)
+}
+
+// RunGridContext executes the (workload x algorithm) grid across
+// opts.Parallelism worker goroutines (after applying extra options) and
+// returns one cell per pair, in workload-major order regardless of
+// completion order.
+//
+// Determinism: each cell's allocator seed is opts.Seed XOR (grid position
+// + 1) — the same derivation the sequential engine always used, now
+// independent of completion order — and each cell constructs its own
+// Policy, so the cells of a parallel run are byte-for-byte identical to a
+// sequential run.
+//
+// Cancellation: when ctx is done, in-flight simulations abort at their
+// next event-loop boundary, no further cells start, and the error wraps
+// sim.ErrCanceled. The first cell failure likewise cancels the rest of the
+// grid.
+func RunGridContext(ctx context.Context, opts Options, extra ...Option) ([]Cell, error) {
+	for _, o := range extra {
+		o(&opts)
+	}
 	opts = opts.withDefaults()
-	var cells []Cell
-	for _, wfName := range opts.Workloads {
+
+	// Workloads are generated up front and shared read-only by the cells
+	// of a row; generation is cheap next to simulation, and failing on an
+	// unknown workload before any cell runs mirrors the sequential engine.
+	wfs := make([]*workflow.Workflow, len(opts.Workloads))
+	for i, wfName := range opts.Workloads {
 		w, err := workflow.ByName(wfName, opts.Tasks, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
-		for _, alg := range opts.Algorithms {
-			cfg := opts.AllocatorConfig
-			cfg.Seed = opts.Seed ^ uint64(len(cells)+1)
-			pol, err := allocator.New(alg, cfg)
-			if err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			var res *sim.Result
-			if opts.UseDES {
-				res, err = sim.Run(sim.Config{
-					Workflow: w,
-					Policy:   pol,
-					Pool:     opts.Pool,
-					PoolSeed: opts.Seed,
-					Model:    opts.Model,
-				})
-			} else {
-				res, err = sim.RunSequential(w, pol, opts.Model, 0)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%s: %w", wfName, alg, err)
-			}
-			cells = append(cells, Cell{
-				Workload:  wfName,
-				Algorithm: alg,
-				Summary:   res.Summary(),
-				Makespan:  res.Makespan,
-				Elapsed:   time.Since(start),
-			})
+		wfs[i] = w
+	}
+
+	n := len(opts.Workloads) * len(opts.Algorithms)
+	cells := make([]Cell, n)
+	progress := newProgressFunnel(opts.Progress, n)
+	err := runIndexed(ctx, n, opts.Parallelism, func(ctx context.Context, i int) error {
+		wfIdx, algIdx := i/len(opts.Algorithms), i%len(opts.Algorithms)
+		c, err := runCell(ctx, opts, wfs[wfIdx], opts.Algorithms[algIdx], i)
+		if err != nil {
+			return err
 		}
+		cells[i] = c
+		progress(c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
+}
+
+// runCell executes one grid cell. index is the cell's workload-major grid
+// position; it determines the allocator seed.
+func runCell(ctx context.Context, opts Options, w *workflow.Workflow, alg allocator.Name, index int) (Cell, error) {
+	cfg := opts.AllocatorConfig
+	cfg.Seed = opts.Seed ^ uint64(index+1)
+	pol, err := allocator.New(alg, cfg)
+	if err != nil {
+		return Cell{}, err
+	}
+	start := time.Now()
+	var res *sim.Result
+	if opts.UseDES {
+		res, err = sim.RunContext(ctx, sim.Config{
+			Workflow: w,
+			Policy:   pol,
+			Pool:     opts.Pool,
+			PoolSeed: opts.Seed,
+			Model:    opts.Model,
+		})
+	} else {
+		res, err = sim.RunSequentialContext(ctx, w, pol, opts.Model, 0)
+	}
+	if err != nil {
+		return Cell{}, fmt.Errorf("harness: %s/%s: %w", w.Name, alg, err)
+	}
+	return Cell{
+		Workload:  w.Name,
+		Algorithm: alg,
+		Summary:   res.Summary(),
+		Makespan:  res.Makespan,
+		Elapsed:   time.Since(start),
+	}, nil
 }
 
 // Fig5Tables renders the Figure 5 content: one table per resource kind with
@@ -142,6 +199,7 @@ func RunGrid(opts Options) ([]Cell, error) {
 // percentage.
 func Fig5Tables(cells []Cell, opts Options) []*report.Table {
 	opts = opts.withDefaults()
+	byKey := indexCells(cells)
 	var tables []*report.Table
 	for _, k := range resources.AllocatedKinds() {
 		header := append([]string{"workflow"}, algorithmHeader(opts.Algorithms)...)
@@ -149,7 +207,7 @@ func Fig5Tables(cells []Cell, opts Options) []*report.Table {
 		for _, wf := range opts.Workloads {
 			row := []any{wf}
 			for _, alg := range opts.Algorithms {
-				if c, ok := findCell(cells, wf, alg); ok {
+				if c, ok := byKey[cellKey{wf, alg}]; ok {
 					row = append(row, report.Percent(c.AWE(k)))
 				} else {
 					row = append(row, "-")
@@ -173,6 +231,7 @@ func Fig6Tables(cells []Cell, opts Options) []*report.Table {
 			algs = append(algs, a)
 		}
 	}
+	byKey := indexCells(cells)
 	var tables []*report.Table
 	for _, k := range resources.AllocatedKinds() {
 		tab := report.New(
@@ -180,7 +239,7 @@ func Fig6Tables(cells []Cell, opts Options) []*report.Table {
 			"workflow", "algorithm", "internal_frag", "failed_alloc", "total_waste", "failed_share")
 		for _, wf := range opts.Workloads {
 			for _, alg := range algs {
-				c, ok := findCell(cells, wf, alg)
+				c, ok := byKey[cellKey{wf, alg}]
 				if !ok {
 					continue
 				}
@@ -210,11 +269,19 @@ func algorithmHeader(algs []allocator.Name) []string {
 	return out
 }
 
-func findCell(cells []Cell, wf string, alg allocator.Name) (Cell, bool) {
+// cellKey identifies a grid cell by its (workload, algorithm) pair.
+type cellKey struct {
+	wf  string
+	alg allocator.Name
+}
+
+// indexCells builds a (workload, algorithm) index over cells, turning the
+// per-table-cell lookup the figure renderers do from an O(cells) scan
+// (O(n²) across a whole table) into a constant-time map hit.
+func indexCells(cells []Cell) map[cellKey]Cell {
+	byKey := make(map[cellKey]Cell, len(cells))
 	for _, c := range cells {
-		if c.Workload == wf && c.Algorithm == alg {
-			return c, true
-		}
+		byKey[cellKey{c.Workload, c.Algorithm}] = c
 	}
-	return Cell{}, false
+	return byKey
 }

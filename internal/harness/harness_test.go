@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -63,8 +64,9 @@ func TestRunGridDefaultsCoverEverything(t *testing.T) {
 }
 
 func TestRunGridUnknownWorkload(t *testing.T) {
-	if _, err := RunGrid(Options{Workloads: []string{"bogus"}}); err == nil {
-		t.Error("unknown workload should error")
+	_, err := RunGrid(Options{Workloads: []string{"bogus"}})
+	if !errors.Is(err, workflow.ErrUnknownWorkflow) {
+		t.Errorf("err = %v, want ErrUnknownWorkflow", err)
 	}
 }
 

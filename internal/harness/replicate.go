@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"dynalloc/internal/allocator"
@@ -20,23 +21,30 @@ type CellStats struct {
 }
 
 // RunGridReplicated runs the (workload x algorithm) grid once per seed
-// (opts.Seed, opts.Seed+1, ...) and aggregates per-cell statistics.
+// (opts.Seed, opts.Seed+1, ...) and aggregates per-cell statistics. It is
+// RunGridReplicatedContext without cancellation.
 func RunGridReplicated(opts Options, seeds int) ([]CellStats, error) {
+	return RunGridReplicatedContext(context.Background(), opts, seeds)
+}
+
+// RunGridReplicatedContext is RunGridReplicated under a context: each
+// replica's grid fans its cells across opts.Parallelism workers, and
+// cancellation aborts the sweep with an error wrapping sim.ErrCanceled.
+// Aggregation is replica-ordered, so the statistics are identical at any
+// parallelism.
+func RunGridReplicatedContext(ctx context.Context, opts Options, seeds int) ([]CellStats, error) {
 	if seeds <= 0 {
 		seeds = 1
 	}
 	opts = opts.withDefaults()
-	type key struct {
-		wf  string
-		alg allocator.Name
-	}
+	type key = cellKey
 	awes := make(map[key]map[resources.Kind][]float64)
 	retries := make(map[key][]float64)
 	var order []key
 	for s := 0; s < seeds; s++ {
 		runOpts := opts
 		runOpts.Seed = opts.Seed + uint64(s)
-		cells, err := RunGrid(runOpts)
+		cells, err := RunGridContext(ctx, runOpts)
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", runOpts.Seed, err)
 		}
@@ -72,6 +80,10 @@ func RunGridReplicated(opts Options, seeds int) ([]CellStats, error) {
 // "mean% ± sd" cells.
 func ReplicatedTable(cells []CellStats, opts Options, kind resources.Kind, seeds int) *report.Table {
 	opts = opts.withDefaults()
+	byKey := make(map[cellKey]CellStats, len(cells))
+	for _, c := range cells {
+		byKey[cellKey{c.Workload, c.Algorithm}] = c
+	}
 	header := append([]string{"workflow"}, algorithmHeader(opts.Algorithms)...)
 	tab := report.New(
 		fmt.Sprintf("Figure 5 (replicated x%d) — AWE (%s), mean ± sd", seeds, kind),
@@ -80,11 +92,9 @@ func ReplicatedTable(cells []CellStats, opts Options, kind resources.Kind, seeds
 		row := []any{wf}
 		for _, alg := range opts.Algorithms {
 			cell := "-"
-			for _, c := range cells {
-				if c.Workload == wf && c.Algorithm == alg {
-					s := c.AWE[kind]
-					cell = fmt.Sprintf("%.1f%% ± %.1f", 100*s.Mean, 100*s.Stddev)
-				}
+			if c, ok := byKey[cellKey{wf, alg}]; ok {
+				s := c.AWE[kind]
+				cell = fmt.Sprintf("%.1f%% ± %.1f", 100*s.Mean, 100*s.Stddev)
 			}
 			row = append(row, cell)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"dynalloc/internal/dist"
 	"dynalloc/internal/record"
 	"dynalloc/internal/report"
+	"dynalloc/internal/sim"
 )
 
 // Table1Sizes are the record-list sizes of the paper's Table I.
@@ -27,6 +29,18 @@ type Table1Row struct {
 // the N(8,2) GB scenario of Figure 3b with significance equal to task ID.
 // reps controls how many measurements are averaged per cell (0 = 10).
 func Table1(seed uint64, reps int) []Table1Row {
+	rows, _ := Table1Context(context.Background(), seed, reps)
+	return rows
+}
+
+// Table1Context is Table1 under a context, checked between cells. Timing
+// cells run strictly sequentially regardless of harness parallelism: they
+// measure wall-clock cost, and concurrent cells would contend for the CPU
+// and corrupt each other's measurements.
+func Table1Context(ctx context.Context, seed uint64, reps int) ([]Table1Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if reps <= 0 {
 		reps = 10
 	}
@@ -35,6 +49,9 @@ func Table1(seed uint64, reps int) []Table1Row {
 	var rows []Table1Row
 	for _, alg := range []core.Algorithm{core.GreedyBucketing{}, core.ExhaustiveBucketing{}} {
 		for _, n := range Table1Sizes {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("harness: table 1: %w: %w", sim.ErrCanceled, err)
+			}
 			l := &record.List{}
 			for i := 0; i < n; i++ {
 				l.Add(record.Record{TaskID: i + 1, Value: sampler.Sample(r), Sig: float64(i + 1), Time: 60})
@@ -57,7 +74,7 @@ func Table1(seed uint64, reps int) []Table1Row {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // Table1Report renders Table I in the paper's layout: one row per
@@ -68,14 +85,20 @@ func Table1Report(rows []Table1Row) *report.Table {
 		header = append(header, fmt.Sprint(n))
 	}
 	tab := report.New("Table I — mean time (µs) to compute a bucketing state and derive an allocation", header...)
+	type rowKey struct {
+		alg     string
+		records int
+	}
+	byKey := make(map[rowKey]Table1Row, len(rows))
+	for _, r := range rows {
+		byKey[rowKey{r.Algorithm, r.Records}] = r
+	}
 	for _, algName := range []string{"greedy", "exhaustive"} {
 		row := []any{algName}
 		for _, n := range Table1Sizes {
 			cell := "-"
-			for _, r := range rows {
-				if r.Algorithm == algName && r.Records == n {
-					cell = fmt.Sprintf("%.1f", float64(r.Mean.Nanoseconds())/1e3)
-				}
+			if r, ok := byKey[rowKey{algName, n}]; ok {
+				cell = fmt.Sprintf("%.1f", float64(r.Mean.Nanoseconds())/1e3)
 			}
 			row = append(row, cell)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"dynalloc/internal/allocator"
@@ -17,6 +18,16 @@ import (
 // submission order — at a fraction of the cost. Benchmarks and parameter
 // sweeps use it; the discrete-event Run exercises realistic interleavings.
 func RunSequential(w *workflow.Workflow, policy allocator.Policy, model ConsumptionModel, maxAttempts int) (*Result, error) {
+	return RunSequentialContext(context.Background(), w, policy, model, maxAttempts)
+}
+
+// RunSequentialContext is RunSequential under a context: the driver checks
+// ctx between tasks and aborts with an error wrapping ErrCanceled once the
+// context is done.
+func RunSequentialContext(ctx context.Context, w *workflow.Workflow, policy allocator.Policy, model ConsumptionModel, maxAttempts int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w == nil || policy == nil {
 		return nil, fmt.Errorf("sim: workflow and policy are required")
 	}
@@ -25,7 +36,12 @@ func RunSequential(w *workflow.Workflow, policy allocator.Policy, model Consumpt
 	}
 	res := &Result{PeakWorkers: 1}
 	clock := 0.0
-	for _, t := range w.Tasks {
+	for i, t := range w.Tasks {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w after %d/%d tasks: %w", ErrCanceled, i, len(w.Tasks), err)
+			}
+		}
 		outcome := metrics.TaskOutcome{
 			TaskID:   t.ID,
 			Category: t.Category,

@@ -47,7 +47,7 @@ func memoryPhases(name string, n int) (dist.Phased, error) {
 			Boundaries: []int{n / 3, 2 * n / 3},
 		}, nil
 	default:
-		return dist.Phased{}, fmt.Errorf("workflow: unknown synthetic family %q", name)
+		return dist.Phased{}, fmt.Errorf("%w: no synthetic family %q", ErrUnknownWorkflow, name)
 	}
 }
 

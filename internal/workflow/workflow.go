@@ -12,11 +12,16 @@
 package workflow
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"dynalloc/internal/resources"
 )
+
+// ErrUnknownWorkflow is returned (wrapped) when a workload name does not
+// match any evaluation workload. Match it with errors.Is.
+var ErrUnknownWorkflow = errors.New("workflow: unknown workload")
 
 // Task is one unit of work. Consumption holds the task's peak cores, memory
 // (MB), disk (MB), and runtime (s) — the hidden 4-tuple of Section II-B.
@@ -150,6 +155,6 @@ func ByName(name string, n int, seed uint64) (*Workflow, error) {
 	case "topeft":
 		return TopEFT(seed), nil
 	default:
-		return nil, fmt.Errorf("workflow: unknown workload %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownWorkflow, name)
 	}
 }

@@ -1,6 +1,7 @@
 package workflow
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -31,11 +32,11 @@ func TestAllWorkloadsValidateOnPaperWorker(t *testing.T) {
 }
 
 func TestByNameUnknown(t *testing.T) {
-	if _, err := ByName("nope", 0, 1); err == nil {
-		t.Error("unknown workload should fail")
+	if _, err := ByName("nope", 0, 1); !errors.Is(err, ErrUnknownWorkflow) {
+		t.Errorf("ByName(nope) = %v, want ErrUnknownWorkflow", err)
 	}
-	if _, err := Synthetic("nope", 10, 1); err == nil {
-		t.Error("unknown synthetic family should fail")
+	if _, err := Synthetic("nope", 10, 1); !errors.Is(err, ErrUnknownWorkflow) {
+		t.Errorf("Synthetic(nope) = %v, want ErrUnknownWorkflow", err)
 	}
 }
 
