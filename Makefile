@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench short ci clean
+.PHONY: all build test race test-live vet bench short ci clean
 
 all: build
 
@@ -15,6 +15,11 @@ test:
 race:
 	$(GO) test -race ./internal/harness/... . -count=1
 
+# The live work-queue engine integration tests (heartbeat loss, bounded
+# retry, drain-under-load, ID-collision regressions) under the race detector.
+test-live:
+	$(GO) test -race ./internal/wq/... -count=1
+
 vet:
 	$(GO) vet ./...
 
@@ -24,7 +29,7 @@ short:
 bench:
 	$(GO) test ./internal/harness/ -run '^$$' -bench BenchmarkRunGrid -benchmem
 
-ci: vet build test race
+ci: vet build test race test-live
 
 clean:
 	rm -rf figures-out

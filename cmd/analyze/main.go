@@ -1,11 +1,14 @@
 // Command analyze recomputes the paper's metrics from saved run logs
-// (written by vinesim -log) without re-running the simulation, and compares
-// several logs side by side. Logs are read and replayed across -j worker
-// goroutines; the output order always matches the argument order.
+// (written by vinesim -log or a live wq-manager -log run) without re-running
+// anything, and compares several logs side by side. Live-engine logs carry
+// lifecycle event lines (dispatches, evictions, heartbeat timeouts, drain);
+// those replay identically, with the event count reported alongside the
+// metrics. Logs are read and replayed across -j worker goroutines; the
+// output order always matches the argument order.
 //
 //	vinesim -workflow topeft -algorithm exhaustive-bucketing -log eb.jsonl
-//	vinesim -workflow topeft -algorithm max-seen -log ms.jsonl
-//	analyze eb.jsonl ms.jsonl
+//	wq-manager -workflow topeft -algorithm max-seen -log live.jsonl
+//	analyze eb.jsonl live.jsonl
 package main
 
 import (
@@ -59,7 +62,7 @@ func main() {
 	wg.Wait()
 
 	tab := report.New("Run log analysis",
-		"log", "workload", "algorithm", "tasks", "retries",
+		"log", "workload", "algorithm", "tasks", "retries", "evictions", "failed", "events",
 		"cores AWE", "memory AWE", "disk AWE")
 	for i, rows := range rowsPerLog {
 		fatalIf(errs[i])
@@ -84,7 +87,7 @@ func replayLog(path string, perCategory bool) ([][]any, error) {
 	}
 	acc := runlog.Replay(log)
 	rows := [][]any{{path, log.Header.Workload, log.Header.Algorithm,
-		acc.Tasks(), acc.Retries(),
+		acc.Tasks(), acc.Retries(), acc.Evictions(), acc.Failures(), len(log.Events),
 		report.Percent(acc.AWE(resources.Cores)),
 		report.Percent(acc.AWE(resources.Memory)),
 		report.Percent(acc.AWE(resources.Disk))}}
@@ -98,7 +101,8 @@ func replayLog(path string, perCategory bool) ([][]any, error) {
 		sort.Strings(cats)
 		for _, cat := range cats {
 			acc := byCat[cat]
-			rows = append(rows, []any{"  - " + cat, "", "", acc.Tasks(), acc.Retries(),
+			rows = append(rows, []any{"  - " + cat, "", "",
+				acc.Tasks(), acc.Retries(), acc.Evictions(), acc.Failures(), "",
 				report.Percent(acc.AWE(resources.Cores)),
 				report.Percent(acc.AWE(resources.Memory)),
 				report.Percent(acc.AWE(resources.Disk))})

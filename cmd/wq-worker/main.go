@@ -1,8 +1,11 @@
 // Command wq-worker runs one live worker: it connects to a wq-manager,
-// advertises its capacity, and executes tasks under a virtual resource
-// monitor until the manager shuts it down.
+// advertises its capacity, answers the manager's heartbeat pings, and
+// executes tasks under a virtual resource monitor until the manager shuts it
+// down. With -reconnect the worker re-dials after a lost connection (a
+// manager restart, or being declared lost by the heartbeat sweeper during a
+// stall), which is how an opportunistic node rejoins the pool.
 //
-//	wq-worker -addr 127.0.0.1:9123 -cores 16 -memory 65536 -disk 65536
+//	wq-worker -addr 127.0.0.1:9123 -cores 16 -memory 65536 -disk 65536 -reconnect 5
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"dynalloc/internal/resources"
 	"dynalloc/internal/wq"
@@ -23,6 +27,8 @@ func main() {
 		memory    = flag.Float64("memory", 64*1024, "advertised memory (MB)")
 		disk      = flag.Float64("disk", 64*1024, "advertised disk (MB)")
 		timeScale = flag.Float64("timescale", 1e-3, "wall seconds per simulated task second")
+		reconnect = flag.Int("reconnect", 0, "re-dial this many times after a lost connection")
+		backoff   = flag.Duration("reconnect-wait", time.Second, "pause between reconnect attempts")
 	)
 	flag.Parse()
 
@@ -35,9 +41,23 @@ func main() {
 	}
 	fmt.Printf("worker connecting to %s (%v cores, %v MB memory, %v MB disk)\n",
 		*addr, *cores, *memory, *disk)
-	if err := wq.RunWorker(ctx, *addr, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "wq-worker:", err)
-		os.Exit(1)
+	attempts := *reconnect
+	for {
+		err := wq.RunWorker(ctx, *addr, cfg)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		if attempts <= 0 {
+			fmt.Fprintln(os.Stderr, "wq-worker:", err)
+			os.Exit(1)
+		}
+		attempts--
+		fmt.Fprintf(os.Stderr, "wq-worker: %v; reconnecting in %s (%d attempts left)\n",
+			err, *backoff, attempts+1)
+		select {
+		case <-time.After(*backoff):
+		case <-ctx.Done():
+		}
 	}
 	fmt.Println("worker shut down")
 }

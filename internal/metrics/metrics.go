@@ -29,6 +29,11 @@ const (
 	// This is an infrastructure failure, not an allocation failure; the
 	// task retries with the same allocation.
 	Evicted
+	// Failed: the task was abandoned permanently after exceeding its
+	// retry budget (bounded retry under opportunistic loss). A Failed
+	// attempt is a terminal marker: it holds no allocation time of its
+	// own, and a task whose attempts end in Failed never succeeded.
+	Failed
 )
 
 func (s AttemptStatus) String() string {
@@ -39,6 +44,8 @@ func (s AttemptStatus) String() string {
 		return "exhausted"
 	case Evicted:
 		return "evicted"
+	case Failed:
+		return "failed"
 	default:
 		return fmt.Sprintf("AttemptStatus(%d)", int(s))
 	}
@@ -59,7 +66,19 @@ type TaskOutcome struct {
 	Category string
 	Peak     resources.Vector // actual peak consumption (c, m, d)
 	Runtime  float64          // duration t of the successful run
-	Attempts []Attempt        // chronological; the last one has Status Success
+	Attempts []Attempt        // chronological; the last one has Status Success or Failed
+}
+
+// Succeeded reports whether any attempt completed successfully. A task
+// abandoned under a retry bound (its last attempt has Status Failed) never
+// succeeded and contributes no useful consumption.
+func (o *TaskOutcome) Succeeded() bool {
+	for _, a := range o.Attempts {
+		if a.Status == Success {
+			return true
+		}
+	}
+	return false
 }
 
 // FinalAlloc returns the allocation of the successful attempt, or the zero
@@ -171,6 +190,7 @@ type Accumulator struct {
 	attempts  int
 	retries   int
 	evictions int
+	failures  int
 }
 
 // Add folds one task outcome into the totals.
@@ -183,10 +203,18 @@ func (acc *Accumulator) Add(o TaskOutcome) {
 			acc.retries++
 		case Evicted:
 			acc.evictions++
+		case Failed:
+			acc.failures++
 		}
 	}
+	succeeded := o.Succeeded()
 	for k := resources.Kind(0); k < resources.NumKinds; k++ {
-		acc.consumption[k] += o.Consumption(k)
+		// A permanently failed task produced nothing useful: its failed
+		// attempts still count as allocation (waste), but it contributes
+		// no consumption to the AWE numerator.
+		if succeeded {
+			acc.consumption[k] += o.Consumption(k)
+		}
 		acc.allocation[k] += o.Allocation(k)
 		acc.internal[k] += o.InternalFragmentation(k)
 		acc.failed[k] += o.FailedAllocation(k)
@@ -239,6 +267,10 @@ func (acc *Accumulator) Retries() int { return acc.retries }
 // Evictions returns the total number of eviction-lost attempts.
 func (acc *Accumulator) Evictions() int { return acc.evictions }
 
+// Failures returns the number of tasks abandoned permanently after
+// exhausting their retry budget.
+func (acc *Accumulator) Failures() int { return acc.failures }
+
 // Summary is a flat, serializable snapshot of an Accumulator, used by the
 // figure harnesses and the trace dumps.
 type Summary struct {
@@ -246,6 +278,7 @@ type Summary struct {
 	Attempts  int           `json:"attempts"`
 	Retries   int           `json:"retries"`
 	Evictions int           `json:"evictions"`
+	Failures  int           `json:"failures,omitempty"`
 	PerKind   []KindSummary `json:"per_kind"`
 }
 
@@ -266,6 +299,7 @@ func (acc *Accumulator) Summarize() Summary {
 		Attempts:  acc.attempts,
 		Retries:   acc.retries,
 		Evictions: acc.evictions,
+		Failures:  acc.failures,
 	}
 	for _, k := range resources.AllocatedKinds() {
 		s.PerKind = append(s.PerKind, KindSummary{

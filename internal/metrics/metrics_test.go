@@ -251,3 +251,48 @@ func TestSummarize(t *testing.T) {
 		}
 	}
 }
+
+func TestFailedStatusAccounting(t *testing.T) {
+	if Failed.String() != "failed" {
+		t.Error("failed status string wrong")
+	}
+	// A task abandoned at the retry limit: two exhaustions, then the
+	// terminal failed marker. It holds allocation (waste) but never
+	// contributes consumption.
+	doomed := TaskOutcome{
+		TaskID:  1,
+		Peak:    vec(1, 500, 100),
+		Runtime: 10,
+		Attempts: []Attempt{
+			{Alloc: vec(1, 100, 100), Duration: 2, Status: Exhausted},
+			{Alloc: vec(1, 100, 100), Duration: 2, Status: Exhausted},
+			{Alloc: vec(1, 100, 100), Status: Failed},
+		},
+	}
+	if doomed.Succeeded() {
+		t.Error("doomed task reports success")
+	}
+	var acc Accumulator
+	acc.Add(doomed)
+	acc.Add(oracleOutcome(2, vec(1, 100, 100), 10))
+	if acc.Failures() != 1 {
+		t.Errorf("failures = %d, want 1", acc.Failures())
+	}
+	if acc.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", acc.Retries())
+	}
+	s := acc.Summarize()
+	if s.Failures != 1 {
+		t.Errorf("summary failures = %d, want 1", s.Failures)
+	}
+	// Consumption comes only from the successful task; the doomed one adds
+	// pure waste: memory AWE = (100*10) / (100*10 + 2*2*100).
+	want := 1000.0 / 1400.0
+	if got := acc.AWE(resources.Memory); math.Abs(got-want) > 1e-12 {
+		t.Errorf("memory AWE = %v, want %v", got, want)
+	}
+	// The Failed marker itself holds no allocation time.
+	if got := doomed.FailedAllocation(resources.Memory); got != 400 {
+		t.Errorf("failed allocation = %v, want 400 (exhausted attempts only)", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"dynalloc/internal/metrics"
 	"dynalloc/internal/resources"
@@ -57,15 +58,66 @@ type Footer struct {
 	Summary metrics.Summary `json:"summary"`
 }
 
-// Write serializes a run result as a log.
-func Write(w io.Writer, hdr Header, res *sim.Result) error {
+// EventRecord is one lifecycle event emitted by the live engine (dispatch,
+// result, eviction, requeue, heartbeat timeout, drain, ...). Event lines are
+// interleaved with the header and task records, so a live run's log carries
+// both the replayable outcomes and a timeline of what the manager did.
+// WorkerID is -1 when the event is not tied to a worker; TaskID is -1 when
+// it is not tied to a task.
+type EventRecord struct {
+	Kind     string `json:"kind"` // always "event"
+	TimeNS   int64  `json:"t_ns"` // wall-clock timestamp, unix nanoseconds
+	Event    string `json:"event"`
+	TaskID   int    `json:"task_id"`
+	WorkerID int    `json:"worker_id"`
+	Status   string `json:"status,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Writer incrementally emits a run log: the header is written on creation,
+// Event appends lifecycle event lines as they happen, and Finish writes the
+// task outcomes and the footer. Event is safe for concurrent use, which is
+// what a live manager's tracer needs.
+type Writer struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	events int
+}
+
+// NewWriter starts a log with the given header. The caller sets hdr.Tasks to
+// the expected task count when known; Write (the one-shot path) fills it from
+// the result.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	hdr.Kind = "header"
-	hdr.Tasks = len(res.Outcomes)
 	if err := enc.Encode(hdr); err != nil {
-		return err
+		return nil, err
 	}
+	return &Writer{bw: bw, enc: enc}, nil
+}
+
+// Event appends one lifecycle event line.
+func (w *Writer) Event(ev EventRecord) error {
+	ev.Kind = "event"
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.events++
+	return w.enc.Encode(ev)
+}
+
+// Events returns the number of event lines written so far.
+func (w *Writer) Events() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.events
+}
+
+// Finish writes the task outcomes and footer and flushes the log.
+func (w *Writer) Finish(res *sim.Result) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, o := range res.Outcomes {
 		tr := TaskRecord{
 			Kind:     "task",
@@ -85,21 +137,32 @@ func Write(w io.Writer, hdr Header, res *sim.Result) error {
 				Status:   a.Status.String(),
 			})
 		}
-		if err := enc.Encode(tr); err != nil {
+		if err := w.enc.Encode(tr); err != nil {
 			return err
 		}
 	}
-	if err := enc.Encode(Footer{Kind: "footer", Summary: res.Acc.Summarize()}); err != nil {
+	if err := w.enc.Encode(Footer{Kind: "footer", Summary: res.Acc.Summarize()}); err != nil {
 		return err
 	}
-	return bw.Flush()
+	return w.bw.Flush()
+}
+
+// Write serializes a run result as a log in one shot (no event lines).
+func Write(w io.Writer, hdr Header, res *sim.Result) error {
+	hdr.Tasks = len(res.Outcomes)
+	lw, err := NewWriter(w, hdr)
+	if err != nil {
+		return err
+	}
+	return lw.Finish(res)
 }
 
 // Log is a parsed run log.
 type Log struct {
 	Header   Header
 	Outcomes []metrics.TaskOutcome
-	Footer   *Footer // nil when the log was truncated before the footer
+	Events   []EventRecord // lifecycle events, in log order (live runs only)
+	Footer   *Footer       // nil when the log was truncated before the footer
 }
 
 // Read parses a log. A missing footer is tolerated (truncated logs can
@@ -130,6 +193,12 @@ func Read(r io.Reader) (*Log, error) {
 				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
 			}
 			log.Outcomes = append(log.Outcomes, tr.outcome())
+		case "event":
+			var ev EventRecord
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+			}
+			log.Events = append(log.Events, ev)
 		case "footer":
 			var f Footer
 			if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
@@ -163,6 +232,8 @@ func (tr TaskRecord) outcome() metrics.TaskOutcome {
 			status = metrics.Exhausted
 		case metrics.Evicted.String():
 			status = metrics.Evicted
+		case metrics.Failed.String():
+			status = metrics.Failed
 		}
 		o.Attempts = append(o.Attempts, metrics.Attempt{
 			Alloc:    resources.New(a.Cores, a.MemoryMB, a.DiskMB, resources.Unlimited),

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dynalloc/internal/allocator"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/opportunistic"
 	"dynalloc/internal/resources"
 	"dynalloc/internal/sim"
@@ -117,5 +118,74 @@ func TestStatusRoundTrip(t *testing.T) {
 	}
 	if o.FinalAlloc().Get(resources.Memory) != 100 {
 		t.Errorf("final alloc = %v", o.FinalAlloc())
+	}
+}
+
+func TestEventLinesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Workload: "live", Algorithm: "exhaustive", Seed: 7, Tasks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []EventRecord{
+		{TimeNS: 100, Event: "worker-join", TaskID: -1, WorkerID: 0},
+		{TimeNS: 200, Event: "dispatch", TaskID: 1, WorkerID: 0},
+		{TimeNS: 300, Event: "result", TaskID: 1, WorkerID: 0, Status: "success"},
+		{TimeNS: 400, Event: "drain-end", TaskID: -1, WorkerID: -1, Detail: "in_flight=0"},
+	}
+	for _, ev := range events {
+		if err := w.Event(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Events() != len(events) {
+		t.Errorf("writer events = %d, want %d", w.Events(), len(events))
+	}
+	res := &sim.Result{Outcomes: []metrics.TaskOutcome{{
+		TaskID: 1, Category: "c", Peak: resources.New(1, 100, 10, 5), Runtime: 5,
+		Attempts: []metrics.Attempt{{Alloc: resources.New(1, 100, 10, resources.Unlimited), Duration: 5, Status: metrics.Success}},
+	}}}
+	res.Acc.Add(res.Outcomes[0])
+	if err := w.Finish(res); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) != len(events) {
+		t.Fatalf("events = %d, want %d", len(log.Events), len(events))
+	}
+	for i, ev := range log.Events {
+		if ev.Event != events[i].Event || ev.TimeNS != events[i].TimeNS ||
+			ev.TaskID != events[i].TaskID || ev.WorkerID != events[i].WorkerID {
+			t.Errorf("event %d = %+v, want %+v", i, ev, events[i])
+		}
+	}
+	if len(log.Outcomes) != 1 || log.Footer == nil {
+		t.Fatalf("outcomes/footer lost: %d outcomes", len(log.Outcomes))
+	}
+}
+
+func TestFailedStatusRoundTrip(t *testing.T) {
+	tr := TaskRecord{
+		ID: 1, Category: "c", Cores: 1, MemoryMB: 500, DiskMB: 10, Runtime: 5,
+		Attempts: []AttemptRecord{
+			{Cores: 1, MemoryMB: 100, DiskMB: 10, Duration: 2, Status: "exhausted"},
+			{Cores: 1, MemoryMB: 100, DiskMB: 10, Status: "failed"},
+		},
+	}
+	o := tr.outcome()
+	if o.Succeeded() {
+		t.Error("failed task reports success")
+	}
+	if got := o.Attempts[1].Status; got != metrics.Failed {
+		t.Errorf("status = %v, want failed", got)
+	}
+	var acc metrics.Accumulator
+	acc.Add(o)
+	if acc.Failures() != 1 {
+		t.Errorf("failures = %d, want 1", acc.Failures())
 	}
 }

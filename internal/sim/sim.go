@@ -82,6 +82,9 @@ type Result struct {
 	// Evictions counts worker evictions that interrupted at least nothing
 	// or more; every eviction is counted.
 	Evictions int
+	// Failed counts tasks abandoned permanently after exceeding a retry
+	// bound (live engine only; the simulator retries without bound).
+	Failed int
 }
 
 // Summary returns the metric summary of the run.

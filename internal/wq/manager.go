@@ -3,8 +3,10 @@ package wq
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -15,24 +17,47 @@ import (
 	"dynalloc/internal/workflow"
 )
 
+// ErrManagerClosed reports that the manager was closed while a workflow (or
+// submission) still had unfinished tasks. It is distinguishable from a
+// context cancellation so callers can tell "my deadline passed" from "the
+// engine went away under me".
+var ErrManagerClosed = errors.New("wq: manager closed")
+
 // Manager is the live task scheduler: it accepts worker connections,
 // requests an allocation for every ready task from the policy, places tasks
 // on workers with free capacity, escalates failed allocations, and feeds
 // completed tasks' resource records back to the policy.
+//
+// Robustness model: worker loss is detected by a heartbeat sweeper (see
+// WithHeartbeat) rather than per-dispatch watchdog timers; every eviction or
+// exhaustion counts against an optional per-task retry budget (see
+// WithRetryLimit); and Close drains in-flight work before waking blocked
+// RunWorkflow callers with ErrManagerClosed.
 type Manager struct {
 	policy allocator.Policy
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	ln          net.Listener
-	workers     map[int]*managedWorker
-	tasks       map[int]*taskState
-	queue       []int // task IDs awaiting placement; retries at the front
-	nextWID     int
-	nextTID     int
-	peak        int
-	closed      bool
-	taskTimeout time.Duration
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ln      net.Listener
+	workers map[int]*managedWorker
+	tasks   map[int]*taskState
+	queue   []int // task IDs awaiting placement; retries at the front
+	nextWID int
+	nextTID int // highest task ID ever registered, on any path
+	closed  bool
+
+	stats     Stats
+	perWorker map[int]*WorkerStats
+
+	// options
+	hbInterval   time.Duration
+	hbTimeout    time.Duration
+	retryLimit   int
+	drainTimeout time.Duration
+	tracer       Tracer
+
+	sweepDone chan struct{}
+	sweepWG   sync.WaitGroup
 }
 
 type managedWorker struct {
@@ -44,6 +69,7 @@ type managedWorker struct {
 	used     resources.Vector
 	running  map[int]resources.Vector // task ID -> allocation held
 	alive    bool
+	lastSeen time.Time // guarded by Manager.mu
 }
 
 func (w *managedWorker) send(m Message) error {
@@ -58,36 +84,79 @@ type taskState struct {
 	hasAlloc bool
 	outcome  metrics.TaskOutcome
 	done     bool
+	failed   bool                     // done because the retry budget ran out
 	notify   chan metrics.TaskOutcome // non-nil for Submit-ted tasks
 }
 
 // Option configures a Manager.
 type Option func(*Manager)
 
-// WithTaskTimeout makes the manager treat a worker as lost when a
-// dispatched task delivers no result within d: the connection is closed and
-// the worker's in-flight tasks are requeued (the same path as an
-// opportunistic eviction). Zero disables the watchdog.
+// WithHeartbeat enables the liveness sweeper: every interval the manager
+// pings each worker, and a worker from which no frame (pong or result) has
+// arrived within timeout is declared lost — its connection is closed and its
+// in-flight tasks requeue through the eviction path. A non-positive timeout
+// defaults to 4×interval. Heartbeats are off when interval is zero.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(m *Manager) {
+		m.hbInterval = interval
+		m.hbTimeout = timeout
+	}
+}
+
+// WithTaskTimeout is the legacy knob from the per-dispatch watchdog era; it
+// now configures the heartbeat sweeper so that a worker silent for d is
+// declared lost (interval d/4). Unlike the old watchdog, a healthy worker
+// running a task longer than d is never reaped — only silence kills.
 func WithTaskTimeout(d time.Duration) Option {
-	return func(m *Manager) { m.taskTimeout = d }
+	return func(m *Manager) {
+		m.hbInterval = d / 4
+		m.hbTimeout = d
+	}
+}
+
+// WithRetryLimit bounds per-task setbacks: a task evicted or exhausted more
+// than n times is abandoned with a recorded metrics.Failed attempt instead
+// of looping forever on a doomed allocation or a flapping pool. Zero (the
+// default) retries without bound, matching the simulator.
+func WithRetryLimit(n int) Option {
+	return func(m *Manager) { m.retryLimit = n }
+}
+
+// WithDrainTimeout bounds how long Close waits for in-flight results before
+// giving up and waking blocked callers. The default is 5s.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.drainTimeout = d }
+}
+
+// WithTracer streams lifecycle events (dispatch, result, eviction, requeue,
+// heartbeat timeout, drain) to t. See the Tracer contract.
+func WithTracer(t Tracer) Option {
+	return func(m *Manager) { m.tracer = t }
 }
 
 // NewManager creates a manager around an allocation policy.
 func NewManager(policy allocator.Policy, opts ...Option) *Manager {
 	m := &Manager{
-		policy:  policy,
-		workers: make(map[int]*managedWorker),
-		tasks:   make(map[int]*taskState),
+		policy:       policy,
+		workers:      make(map[int]*managedWorker),
+		tasks:        make(map[int]*taskState),
+		perWorker:    make(map[int]*WorkerStats),
+		drainTimeout: 5 * time.Second,
+		sweepDone:    make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.hbInterval > 0 && m.hbTimeout <= 0 {
+		m.hbTimeout = 4 * m.hbInterval
+	}
 	return m
 }
 
 // Listen starts accepting workers on addr (e.g. "127.0.0.1:0") and returns
-// the bound address.
+// the bound address. When heartbeats are configured the liveness sweeper
+// starts alongside the accept loop.
 func (m *Manager) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -97,6 +166,10 @@ func (m *Manager) Listen(addr string) (string, error) {
 	m.ln = ln
 	m.mu.Unlock()
 	go m.acceptLoop(ln)
+	if m.hbInterval > 0 {
+		m.sweepWG.Add(1)
+		go m.sweepLoop()
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -133,12 +206,15 @@ func (m *Manager) serveWorker(conn net.Conn) {
 		capacity: capacity,
 		running:  make(map[int]resources.Vector),
 		alive:    true,
+		lastSeen: time.Now(),
 	}
 	m.nextWID++
 	m.workers[w.id] = w
-	if len(m.workers) > m.peak {
-		m.peak = len(m.workers)
+	m.perWorker[w.id] = &WorkerStats{ID: w.id, Connected: true}
+	if len(m.workers) > m.stats.PeakWorkers {
+		m.stats.PeakWorkers = len(m.workers)
 	}
+	m.traceLocked(Event{Type: EventWorkerJoin, TaskID: -1, WorkerID: w.id})
 	m.dispatchLocked()
 	m.mu.Unlock()
 
@@ -147,17 +223,69 @@ func (m *Manager) serveWorker(conn net.Conn) {
 		if err := dec.Decode(&res); err != nil {
 			break
 		}
-		if res.Type != MsgResult {
-			continue
+		m.mu.Lock()
+		w.lastSeen = time.Now()
+		m.mu.Unlock()
+		switch res.Type {
+		case MsgResult:
+			m.handleResult(w, res)
+		case MsgPong:
+			// lastSeen is already refreshed; nothing else to do.
 		}
-		m.handleResult(w, res)
 	}
 	m.evict(w)
 }
 
+// sweepLoop is the manager-side half of the heartbeat protocol: each tick it
+// declares silent workers lost and pings the rest. It replaces the old
+// per-dispatch time.AfterFunc watchdogs, which leaked a timer per dispatch
+// and could kill a healthy worker when a result raced the reap.
+func (m *Manager) sweepLoop() {
+	defer m.sweepWG.Done()
+	ticker := time.NewTicker(m.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.sweepDone:
+			return
+		case <-ticker.C:
+		}
+		m.sweep(time.Now())
+	}
+}
+
+func (m *Manager) sweep(now time.Time) {
+	m.mu.Lock()
+	var lost, live []*managedWorker
+	for _, w := range m.workers {
+		if now.Sub(w.lastSeen) > m.hbTimeout {
+			lost = append(lost, w)
+			m.stats.HeartbeatTimeouts++
+			m.traceLocked(Event{Type: EventHeartbeatTimeout, TaskID: -1, WorkerID: w.id})
+		} else {
+			live = append(live, w)
+		}
+	}
+	m.mu.Unlock()
+	for _, w := range lost {
+		// Closing the connection funnels the worker through the normal
+		// disconnect path: serveWorker's decode fails and evict requeues
+		// its in-flight tasks.
+		w.conn.Close()
+	}
+	for _, w := range live {
+		go func(w *managedWorker) {
+			if err := w.send(Message{Type: MsgPing}); err != nil {
+				w.conn.Close()
+			}
+		}(w)
+	}
+}
+
 // evict handles a worker disappearing: its in-flight tasks are requeued with
 // their allocations intact (an eviction says nothing about allocation
-// adequacy) and recorded as eviction-lost attempts.
+// adequacy) and recorded as eviction-lost attempts. Requeue order is
+// ascending task ID so multi-task evictions replay deterministically.
 func (m *Manager) evict(w *managedWorker) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -166,34 +294,99 @@ func (m *Manager) evict(w *managedWorker) {
 	}
 	w.alive = false
 	delete(m.workers, w.id)
-	for id, alloc := range w.running {
+	ws := m.perWorker[w.id]
+	if ws != nil {
+		ws.Connected = false
+	}
+	if !m.closed {
+		m.stats.WorkersLost++
+	}
+	ids := make([]int, 0, len(w.running))
+	for id := range w.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var requeue []int
+	for _, id := range ids {
 		st, ok := m.tasks[id]
 		if !ok {
 			continue
 		}
 		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
-			Alloc:  alloc,
+			Alloc:  w.running[id],
 			Status: metrics.Evicted,
 		})
-		m.queue = append([]int{id}, m.queue...)
+		m.stats.Evictions++
+		if ws != nil {
+			ws.Evictions++
+		}
+		m.traceLocked(Event{Type: EventEviction, TaskID: id, WorkerID: w.id})
+		if m.failIfOverLimitLocked(st) {
+			continue
+		}
+		requeue = append(requeue, id)
+		m.stats.Requeues++
+		m.traceLocked(Event{Type: EventRequeue, TaskID: id, WorkerID: -1})
 	}
+	m.queue = append(requeue, m.queue...)
+	m.notePeakQueueLocked()
 	w.running = make(map[int]resources.Vector)
+	w.used = resources.Vector{}
 	m.dispatchLocked()
 	m.cond.Broadcast()
 }
 
+// failIfOverLimitLocked enforces the retry budget: once a task has more
+// setbacks (evicted or exhausted attempts) than the limit allows, it is
+// marked done with a terminal metrics.Failed attempt and its submitter (if
+// any) is notified. Returns true when the task was abandoned.
+func (m *Manager) failIfOverLimitLocked(st *taskState) bool {
+	if m.retryLimit <= 0 || st.done {
+		return false
+	}
+	setbacks := 0
+	for _, a := range st.outcome.Attempts {
+		if a.Status == metrics.Evicted || a.Status == metrics.Exhausted {
+			setbacks++
+		}
+	}
+	if setbacks <= m.retryLimit {
+		return false
+	}
+	st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
+		Alloc:  st.alloc,
+		Status: metrics.Failed,
+	})
+	st.done = true
+	st.failed = true
+	m.stats.Failures++
+	m.traceLocked(Event{Type: EventTaskFailed, TaskID: st.task.ID, WorkerID: -1})
+	if st.notify != nil {
+		st.notify <- st.outcome // buffered; at most one terminal send per task
+		st.notify = nil
+	}
+	return true
+}
+
 func (m *Manager) handleResult(w *managedWorker, res Message) {
 	m.mu.Lock()
-	st, ok := m.tasks[res.TaskID]
-	if !ok {
-		m.mu.Unlock()
-		return
-	}
 	alloc, wasRunning := w.running[res.TaskID]
 	if wasRunning {
 		delete(w.running, res.TaskID)
 		w.used = w.used.Sub(alloc.With(resources.Time, 0))
 	}
+	st, ok := m.tasks[res.TaskID]
+	if !ok || st.done {
+		// Unknown or already-terminal task (e.g. a duplicate result after
+		// an eviction raced a slow worker): the capacity release above is
+		// all that matters.
+		m.dispatchLocked()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	ws := m.perWorker[w.id]
+	m.traceLocked(Event{Type: EventResult, TaskID: res.TaskID, WorkerID: w.id, Status: res.Status})
 
 	switch res.Status {
 	case StatusSuccess:
@@ -203,7 +396,13 @@ func (m *Manager) handleResult(w *managedWorker, res Message) {
 			Status:   metrics.Success,
 		})
 		st.done = true
+		m.stats.Successes++
+		if ws != nil {
+			ws.Successes++
+			ws.BusySeconds += res.Duration
+		}
 		notify := st.notify
+		st.notify = nil
 		outcome := st.outcome
 		m.mu.Unlock()
 		// Observe outside the lock: the policy has its own lock and the
@@ -219,27 +418,42 @@ func (m *Manager) handleResult(w *managedWorker, res Message) {
 			Duration: res.Duration,
 			Status:   metrics.Exhausted,
 		})
-		var exceeded []resources.Kind
-		for _, name := range res.Exceeded {
-			if k, err := resources.ParseKind(name); err == nil {
-				exceeded = append(exceeded, k)
+		m.stats.Exhaustions++
+		if ws != nil {
+			ws.Exhaustions++
+			ws.BusySeconds += res.Duration
+		}
+		if !m.failIfOverLimitLocked(st) {
+			var exceeded []resources.Kind
+			for _, name := range res.Exceeded {
+				if k, err := resources.ParseKind(name); err == nil {
+					exceeded = append(exceeded, k)
+				}
+			}
+			prev := st.alloc
+			m.mu.Unlock()
+			next := m.policy.Retry(st.task.Category, st.task.ID, prev, exceeded)
+			m.mu.Lock()
+			if !st.done {
+				st.alloc = next
+				m.queue = append([]int{st.task.ID}, m.queue...)
+				m.notePeakQueueLocked()
+				m.stats.Requeues++
+				m.traceLocked(Event{Type: EventRequeue, TaskID: st.task.ID, WorkerID: -1})
 			}
 		}
-		prev := st.alloc
-		m.mu.Unlock()
-		next := m.policy.Retry(st.task.Category, st.task.ID, prev, exceeded)
-		m.mu.Lock()
-		st.alloc = next
-		m.queue = append([]int{st.task.ID}, m.queue...)
 	}
 	m.dispatchLocked()
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
-// dispatchLocked places queued tasks onto workers with free capacity.
-// Callers hold m.mu.
+// dispatchLocked places queued tasks onto workers with free capacity. A
+// closed (draining) manager dispatches nothing. Callers hold m.mu.
 func (m *Manager) dispatchLocked() {
+	if m.closed {
+		return
+	}
 	var remaining []int
 	for _, id := range m.queue {
 		st := m.tasks[id]
@@ -265,10 +479,11 @@ func (m *Manager) dispatchLocked() {
 			st.hasAlloc = true
 			w.used = w.used.Add(st.alloc.With(resources.Time, 0))
 			w.running[id] = st.alloc
-			if m.taskTimeout > 0 {
-				taskID := id
-				time.AfterFunc(m.taskTimeout, func() { m.reapStuck(w, taskID) })
+			m.stats.Dispatches++
+			if ws := m.perWorker[w.id]; ws != nil {
+				ws.Dispatched++
 			}
+			m.traceLocked(Event{Type: EventDispatch, TaskID: id, WorkerID: w.id})
 			msg := Message{
 				Type:     MsgTask,
 				TaskID:   st.task.ID,
@@ -311,8 +526,65 @@ func (m *Manager) sortedWorkers() []*managedWorker {
 	return out
 }
 
+// registerTaskLocked registers one task under a collision-free ID drawn from
+// the single monotonic counter and enqueues it. When fresh is true (Submit)
+// the caller's ID is always replaced; otherwise (RunWorkflow) the declared
+// ID is kept unless it is non-positive or already taken, in which case the
+// task is transparently renumbered. The assigned ID is in the returned
+// state's task.ID and outcome.TaskID.
+func (m *Manager) registerTaskLocked(t workflow.Task, notify chan metrics.TaskOutcome, fresh bool) *taskState {
+	id := t.ID
+	if fresh || id <= 0 {
+		m.nextTID++
+		id = m.nextTID
+	} else if _, taken := m.tasks[id]; taken {
+		m.nextTID++
+		id = m.nextTID
+	}
+	if id > m.nextTID {
+		m.nextTID = id
+	}
+	t.ID = id
+	st := &taskState{task: t, outcome: metrics.TaskOutcome{
+		TaskID:   id,
+		Category: t.Category,
+		Peak:     t.Consumption,
+		Runtime:  t.Runtime(),
+	}, notify: notify}
+	m.tasks[id] = st
+	m.queue = append(m.queue, id)
+	m.notePeakQueueLocked()
+	return st
+}
+
+func (m *Manager) notePeakQueueLocked() {
+	if len(m.queue) > m.stats.PeakQueue {
+		m.stats.PeakQueue = len(m.queue)
+	}
+}
+
+func (m *Manager) inFlightLocked() int {
+	n := 0
+	for _, w := range m.workers {
+		n += len(w.running)
+	}
+	return n
+}
+
+func (m *Manager) traceLocked(ev Event) {
+	if m.tracer == nil {
+		return
+	}
+	ev.Time = time.Now()
+	m.tracer.Trace(ev)
+}
+
 // RunWorkflow executes a workflow phase by phase (respecting its barriers)
-// and blocks until every task completes or ctx is cancelled.
+// and blocks until every task reaches a terminal state (success, or
+// permanent failure under WithRetryLimit), ctx is cancelled, or the manager
+// is closed (ErrManagerClosed). Declared task IDs that collide with
+// already-registered tasks are transparently renumbered; the result's
+// outcomes follow the workflow's task order either way.
 func (m *Manager) RunWorkflow(ctx context.Context, w *workflow.Workflow) (*sim.Result, error) {
 	stop := context.AfterFunc(ctx, func() {
 		m.mu.Lock()
@@ -322,45 +594,58 @@ func (m *Manager) RunWorkflow(ctx context.Context, w *workflow.Workflow) (*sim.R
 	defer stop()
 
 	start := time.Now()
+	ids := make([]int, len(w.Tasks)) // workflow position -> engine task ID
 	phases := append(append([]int{}, w.Barriers...), len(w.Tasks))
 	from := 0
 	for _, until := range phases {
 		m.mu.Lock()
-		for _, t := range w.Tasks[from:until] {
-			t := t
-			m.tasks[t.ID] = &taskState{task: t, outcome: metrics.TaskOutcome{
-				TaskID:   t.ID,
-				Category: t.Category,
-				Peak:     t.Consumption,
-				Runtime:  t.Runtime(),
-			}}
-			m.queue = append(m.queue, t.ID)
+		if m.closed {
+			m.mu.Unlock()
+			return nil, ErrManagerClosed
+		}
+		for i, t := range w.Tasks[from:until] {
+			st := m.registerTaskLocked(t, nil, false)
+			ids[from+i] = st.task.ID
 		}
 		m.dispatchLocked()
-		for !m.phaseDoneLocked(w, until) && ctx.Err() == nil {
+		for !m.tasksDoneLocked(ids[:until]) && ctx.Err() == nil && !m.closed {
 			m.cond.Wait()
 		}
+		done := m.tasksDoneLocked(ids[:until])
+		closed := m.closed
 		m.mu.Unlock()
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("wq: workflow cancelled: %w", ctx.Err())
+		if !done {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("wq: workflow cancelled: %w", ctx.Err())
+			}
+			if closed {
+				return nil, fmt.Errorf("wq: workflow aborted: %w", ErrManagerClosed)
+			}
 		}
 		from = until
 	}
 
-	res := &sim.Result{Makespan: time.Since(start).Seconds(), PeakWorkers: m.peak}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, t := range w.Tasks {
-		st := m.tasks[t.ID]
+	res := &sim.Result{
+		Makespan:    time.Since(start).Seconds(),
+		PeakWorkers: m.stats.PeakWorkers,
+		Evictions:   m.stats.WorkersLost,
+	}
+	for _, id := range ids {
+		st := m.tasks[id]
 		res.Outcomes = append(res.Outcomes, st.outcome)
 		res.Acc.Add(st.outcome)
+		if st.failed {
+			res.Failed++
+		}
 	}
 	return res, nil
 }
 
-func (m *Manager) phaseDoneLocked(w *workflow.Workflow, until int) bool {
-	for _, t := range w.Tasks[:until] {
-		st, ok := m.tasks[t.ID]
+func (m *Manager) tasksDoneLocked(ids []int) bool {
+	for _, id := range ids {
+		st, ok := m.tasks[id]
 		if !ok || !st.done {
 			return false
 		}
@@ -368,50 +653,27 @@ func (m *Manager) phaseDoneLocked(w *workflow.Workflow, until int) bool {
 	return true
 }
 
-// reapStuck fires when a dispatched task's watchdog expires: if the task is
-// still outstanding on that worker, the worker is declared lost and its
-// connection closed, which funnels every in-flight task through the
-// eviction/requeue path.
-func (m *Manager) reapStuck(w *managedWorker, taskID int) {
-	m.mu.Lock()
-	_, still := w.running[taskID]
-	alive := w.alive
-	m.mu.Unlock()
-	if still && alive {
-		w.conn.Close()
-	}
-}
-
 // Submit enqueues a single dynamically generated task and returns a channel
-// that delivers its outcome once it completes. The manager assigns the task
-// a fresh submission ID (preserving the significance-equals-submission-order
-// convention); the caller's ID field is ignored. Submit is how an
-// application layer generates tasks at runtime, as opposed to RunWorkflow's
-// pre-declared task list.
+// that delivers its outcome once it reaches a terminal state. The manager
+// assigns the task a fresh submission ID from the same monotonic counter
+// every registration path shares (preserving the
+// significance-equals-submission-order convention); the caller's ID field is
+// ignored. Submitting to a closed manager delivers an immediate
+// metrics.Failed outcome.
 func (m *Manager) Submit(t workflow.Task) <-chan metrics.TaskOutcome {
 	ch := make(chan metrics.TaskOutcome, 1)
 	m.mu.Lock()
-	if m.nextTID == 0 {
-		// Continue after any IDs a RunWorkflow call already registered.
-		for id := range m.tasks {
-			if id > m.nextTID {
-				m.nextTID = id
-			}
-		}
-	}
-	m.nextTID++
-	t.ID = m.nextTID
-	m.tasks[t.ID] = &taskState{
-		task: t,
-		outcome: metrics.TaskOutcome{
-			TaskID:   t.ID,
+	if m.closed {
+		m.mu.Unlock()
+		ch <- metrics.TaskOutcome{
 			Category: t.Category,
 			Peak:     t.Consumption,
 			Runtime:  t.Runtime(),
-		},
-		notify: ch,
+			Attempts: []metrics.Attempt{{Status: metrics.Failed}},
+		}
+		return ch
 	}
-	m.queue = append(m.queue, t.ID)
+	m.registerTaskLocked(t, ch, true)
 	m.dispatchLocked()
 	m.mu.Unlock()
 	return ch
@@ -424,19 +686,71 @@ func (m *Manager) Workers() int {
 	return len(m.workers)
 }
 
-// Close shuts down the listener and asks every worker to exit. Workers
-// close their own connections after processing the shutdown frame, so an
-// in-flight result is never cut off mid-write.
+// Stats returns a consistent snapshot of the lifetime counters, including
+// per-worker utilization for every worker that ever connected.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.ConnectedWorkers = len(m.workers)
+	s.QueueDepth = len(m.queue)
+	s.InFlight = m.inFlightLocked()
+	ids := make([]int, 0, len(m.perWorker))
+	for id := range m.perWorker {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s.Workers = make([]WorkerStats, 0, len(ids))
+	for _, id := range ids {
+		s.Workers = append(s.Workers, *m.perWorker[id])
+	}
+	return s
+}
+
+// Close gracefully drains the manager: it stops dispatching, waits for
+// in-flight results up to the drain timeout, asks every worker to exit, and
+// finally broadcasts so blocked RunWorkflow callers return ErrManagerClosed.
+// Workers close their own connections after processing the shutdown frame,
+// so an in-flight result is never cut off mid-write. Close is idempotent.
 func (m *Manager) Close() {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
 	m.closed = true
 	ln := m.ln
-	workers := m.sortedWorkers()
+	m.traceLocked(Event{Type: EventDrainStart, TaskID: -1, WorkerID: -1})
 	m.mu.Unlock()
+
 	if ln != nil {
 		ln.Close()
 	}
+	close(m.sweepDone)
+	m.sweepWG.Wait()
+
+	expired := false
+	timer := time.AfterFunc(m.drainTimeout, func() {
+		m.mu.Lock()
+		expired = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	m.mu.Lock()
+	for m.inFlightLocked() > 0 && !expired {
+		m.cond.Wait()
+	}
+	m.traceLocked(Event{Type: EventDrainEnd, TaskID: -1, WorkerID: -1,
+		Detail: fmt.Sprintf("in_flight=%d", m.inFlightLocked())})
+	workers := m.sortedWorkers()
+	m.mu.Unlock()
+	timer.Stop()
+
 	for _, w := range workers {
 		_ = w.send(Message{Type: MsgShutdown})
 	}
+
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }

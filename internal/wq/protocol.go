@@ -43,6 +43,12 @@ type Message struct {
 	Exceeded []string `json:"exceeded,omitempty"`
 
 	// shutdown (manager -> worker)
+
+	// ping (manager -> worker) / pong (worker -> manager): the liveness
+	// probe. The manager's sweeper pings every worker each heartbeat
+	// interval; any frame from the worker (pong or result) refreshes its
+	// last-seen time, and a worker silent past the heartbeat timeout is
+	// declared lost and its tasks requeued.
 }
 
 // Message types.
@@ -51,6 +57,8 @@ const (
 	MsgTask     = "task"
 	MsgResult   = "result"
 	MsgShutdown = "shutdown"
+	MsgPing     = "ping"
+	MsgPong     = "pong"
 )
 
 // Statuses carried by result messages.

@@ -1,0 +1,123 @@
+package wq
+
+import (
+	"time"
+
+	"dynalloc/internal/runlog"
+)
+
+// EventType names one kind of manager lifecycle event.
+type EventType string
+
+// Lifecycle event types emitted by the manager.
+const (
+	// EventWorkerJoin: a worker registered (WorkerID set).
+	EventWorkerJoin EventType = "worker-join"
+	// EventDispatch: a task was placed on a worker.
+	EventDispatch EventType = "dispatch"
+	// EventResult: a result frame was accepted (Status carries the wire
+	// status, "success" or "exhausted").
+	EventResult EventType = "result"
+	// EventEviction: a task in flight on a lost worker was recorded as
+	// eviction-lost.
+	EventEviction EventType = "eviction"
+	// EventRequeue: a task went back to the queue (after an eviction or an
+	// exhausted attempt).
+	EventRequeue EventType = "requeue"
+	// EventHeartbeatTimeout: the sweeper declared a worker lost after it
+	// stayed silent past the heartbeat timeout.
+	EventHeartbeatTimeout EventType = "heartbeat-timeout"
+	// EventTaskFailed: a task exceeded its retry budget and was abandoned
+	// permanently.
+	EventTaskFailed EventType = "task-failed"
+	// EventDrainStart / EventDrainEnd bracket Close()'s graceful drain.
+	EventDrainStart EventType = "drain-start"
+	EventDrainEnd   EventType = "drain-end"
+)
+
+// Event is one timestamped manager lifecycle event. TaskID and WorkerID are
+// -1 when the event is not tied to a task or worker.
+type Event struct {
+	Time     time.Time
+	Type     EventType
+	TaskID   int
+	WorkerID int
+	Status   string // result status for EventResult, "" otherwise
+	Detail   string
+}
+
+// Tracer receives manager lifecycle events. Implementations must be fast and
+// must not call back into the Manager: events are delivered synchronously
+// under the manager's lock so that the stream is totally ordered.
+type Tracer interface {
+	Trace(Event)
+}
+
+// RunlogTracer appends manager events to a run log as "event" lines, so a
+// live run's log replays through cmd/analyze exactly like a simulator log
+// while also carrying the engine timeline.
+type RunlogTracer struct {
+	w *runlog.Writer
+}
+
+// NewRunlogTracer wraps an incremental run-log writer.
+func NewRunlogTracer(w *runlog.Writer) *RunlogTracer { return &RunlogTracer{w: w} }
+
+// Trace implements Tracer. Write errors are dropped: tracing must never take
+// the engine down.
+func (t *RunlogTracer) Trace(ev Event) {
+	_ = t.w.Event(runlog.EventRecord{
+		TimeNS:   ev.Time.UnixNano(),
+		Event:    string(ev.Type),
+		TaskID:   ev.TaskID,
+		WorkerID: ev.WorkerID,
+		Status:   ev.Status,
+		Detail:   ev.Detail,
+	})
+}
+
+// FuncTracer adapts a function to the Tracer interface.
+type FuncTracer func(Event)
+
+// Trace implements Tracer.
+func (f FuncTracer) Trace(ev Event) { f(ev) }
+
+// WorkerStats is the per-worker slice of a Stats snapshot. Counters keep
+// accumulating across a worker's lifetime and are retained after it
+// disconnects, so a run's final snapshot covers every worker that ever
+// joined.
+type WorkerStats struct {
+	ID        int
+	Connected bool
+	// Dispatched counts tasks placed on this worker.
+	Dispatched int
+	// Successes / Exhaustions count result frames accepted from it.
+	Successes   int
+	Exhaustions int
+	// Evictions counts tasks lost in flight when the worker disappeared.
+	Evictions int
+	// BusySeconds totals the virtual duration of every attempt the worker
+	// reported, a utilization proxy independent of the wall-clock scale.
+	BusySeconds float64
+}
+
+// Stats is a consistent snapshot of the manager's lifetime counters.
+// Dispatches equals the number of attempt records across all outcomes when
+// every dispatched task reported back or was evicted, which is how a live
+// run's counters reconcile with its sim.Result.
+type Stats struct {
+	Dispatches        int
+	Successes         int
+	Exhaustions       int
+	Evictions         int // eviction-lost attempts
+	Failures          int // tasks abandoned at the retry limit
+	Requeues          int
+	HeartbeatTimeouts int
+	WorkersLost       int // worker connections lost before Close
+	PeakQueue         int // deepest the ready queue ever got
+	PeakWorkers       int
+	ConnectedWorkers  int
+	QueueDepth        int
+	InFlight          int
+	Workers           []WorkerStats // sorted by worker ID
+}

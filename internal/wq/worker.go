@@ -82,6 +82,12 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 					conn.Close()
 				}
 			}()
+		case MsgPing:
+			// Liveness probe: answer immediately so the manager's sweeper
+			// keeps counting this worker as alive even while long tasks run.
+			if err := send(Message{Type: MsgPong}); err != nil && ctx.Err() == nil {
+				return fmt.Errorf("wq: worker pong: %w", err)
+			}
 		case MsgShutdown:
 			return nil
 		default:
