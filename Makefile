@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race test-live vet bench short ci clean
+# The dispatch-heavy simulator scenarios plus the harness grid benchmark;
+# both feed the BENCH_sim.json trajectory.
+BENCH_PKGS = ./internal/sim ./internal/harness
+BENCH_PATTERN = 'BenchmarkSim|BenchmarkRunGrid'
+
+.PHONY: all build test race test-live vet bench bench-smoke short ci clean
 
 all: build
 
@@ -26,10 +31,18 @@ vet:
 short:
 	$(GO) test ./... -short -count=1
 
+# Full benchmark run: measures the simulator dispatch hot path and the
+# experiment grid, then records the trajectory point in BENCH_sim.json
+# (ns/op, B/op, allocs/op per scenario).
 bench:
-	$(GO) test ./internal/harness/ -run '^$$' -bench BenchmarkRunGrid -benchmem
+	$(GO) test $(BENCH_PKGS) -run '^$$' -bench $(BENCH_PATTERN) -benchmem | $(GO) run ./cmd/benchfmt -out BENCH_sim.json
 
-ci: vet build test race test-live
+# One-iteration smoke of the same suite, wired into ci so the benchmarks
+# (and the benchfmt pipeline) cannot bit-rot unnoticed.
+bench-smoke:
+	$(GO) test $(BENCH_PKGS) -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 1x | $(GO) run ./cmd/benchfmt -out BENCH_sim.json
+
+ci: vet build test race test-live bench-smoke
 
 clean:
 	rm -rf figures-out

@@ -1,0 +1,143 @@
+// Command benchfmt converts `go test -bench` output into the repo's
+// benchmark-trajectory JSON. It reads the benchmark text on stdin, echoes
+// it to stderr (so a piped run stays watchable), and writes one JSON
+// document per invocation:
+//
+//	go test ./internal/sim -run '^$' -bench BenchmarkSim -benchmem | benchfmt -out BENCH_sim.json
+//
+// Each benchmark line becomes an entry with ns/op, B/op, and allocs/op
+// plus any custom metrics (e.g. mem-AWE%) keyed by their unit. The exit
+// status is non-zero when no benchmark lines were seen, so a CI smoke run
+// fails loudly if the bench suite bit-rots.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the BENCH_*.json layout: enough machine context to compare
+// trajectory points across commits, plus the per-benchmark entries.
+type Document struct {
+	GeneratedAt string  `json:"generated_at"`
+	Goos        string  `json:"goos,omitempty"`
+	Goarch      string  `json:"goarch,omitempty"`
+	CPU         string  `json:"cpu,omitempty"`
+	Benchmarks  []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	flag.Parse()
+
+	doc := Document{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseLine(line); ok {
+				e.Package = pkg
+				doc.Benchmarks = append(doc.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchfmt: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses one `BenchmarkName-8  N  V unit  V unit ...` line. Lines
+// that merely start a sub-benchmark group (no measurements yet) report !ok.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS decoration, keeping sub-bench names
+	// (which may themselves contain dashes) intact.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			b := v
+			e.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			e.AllocsPerOp = &a
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return e, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfmt:", err)
+	os.Exit(1)
+}

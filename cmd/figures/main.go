@@ -50,11 +50,17 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "replicate figures 5/6 across this many seeds and report mean ± sd")
 		jobs     = flag.Int("j", 0, "grid cells to simulate concurrently (0 = GOMAXPROCS, 1 = sequential)")
 		progress = flag.Bool("progress", false, "report each completed grid cell on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	stopProf, err := harness.StartProfiles(*cpuProf, *memProf)
+	fatalIf(err)
+	defer func() { fatalIf(stopProf()) }()
 
 	cm, err := sim.ParseConsumptionModel(*model)
 	fatalIf(err)

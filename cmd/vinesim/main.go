@@ -56,11 +56,17 @@ func main() {
 		place    = flag.String("placement", sim.FirstFit.String(), "worker placement for -des: first-fit, worst-fit, best-fit, locality")
 		withData = flag.Bool("data", false, "enable the TaskVine-style data layer (file staging and caches) for -des")
 		jobs     = flag.Int("j", 0, "concurrent simulations when comparing algorithms (0 = GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	stopProf, err := harness.StartProfiles(*cpuProf, *memProf)
+	fatalIf(err)
+	defer func() { fatalIf(stopProf()) }()
 
 	cm, err := sim.ParseConsumptionModel(*model)
 	fatalIf(err)

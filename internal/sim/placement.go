@@ -58,13 +58,15 @@ func ParsePlacement(s string) (Placement, error) {
 	return 0, fmt.Errorf("sim: unknown placement policy %q", s)
 }
 
-// pick returns the chosen worker among those that fit, or nil. data and
-// taskID feed the Locality policy and may be nil/zero for the others.
+// pick returns the chosen worker among those that fit, or nil. workers is
+// the simulator's alive index — eviction removes workers from the scan set,
+// so pick never filters the dead. data and taskID feed the Locality policy
+// and may be nil/zero for the others.
 func (p Placement) pick(workers []*simWorker, alloc resources.Vector, data *vine.Layer, taskID int) *simWorker {
 	var chosen *simWorker
 	var chosenScore float64
 	for _, w := range workers {
-		if !w.alive || !w.fits(alloc) {
+		if !w.fits(alloc) {
 			continue
 		}
 		switch p {

@@ -28,12 +28,9 @@ func TestPlacementParseRoundTrip(t *testing.T) {
 func TestPickPolicies(t *testing.T) {
 	shape := resources.New(16, 64*1024, 64*1024, resources.Unlimited)
 	mkWorker := func(id int, usedMem float64) *simWorker {
-		return &simWorker{
-			id:       id,
-			capacity: shape,
-			used:     resources.New(0, usedMem, 0, 0),
-			alive:    true,
-		}
+		w := newSimWorker(id, shape)
+		w.used = resources.New(0, usedMem, 0, 0)
+		return w
 	}
 	workers := []*simWorker{
 		mkWorker(0, 30000), // moderately loaded
@@ -57,10 +54,10 @@ func TestPickPolicies(t *testing.T) {
 	if w := BestFit.pick(workers, huge, nil, 0); w != nil {
 		t.Errorf("impossible allocation placed on %d", w.id)
 	}
-	// Dead workers are skipped.
-	workers[2].alive = false
-	if w := WorstFit.pick(workers, alloc, nil, 0); w.id != 0 {
-		t.Errorf("worst-fit with dead worker chose %d, want 0", w.id)
+	// Evicted workers leave the scan set entirely (the simulator removes
+	// them from the alive index), so pick never sees them.
+	if w := WorstFit.pick(workers[:2], alloc, nil, 0); w.id != 0 {
+		t.Errorf("worst-fit with evicted worker chose %d, want 0", w.id)
 	}
 }
 

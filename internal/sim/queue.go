@@ -1,0 +1,95 @@
+package sim
+
+// taskQueue is the simulator's ready queue: a growable ring buffer of task
+// indices with O(1) push at either end. The eviction and retry paths push
+// blocks onto the front (retries jump the queue), which on a plain slice
+// cost a full copy per requeued task; dispatch compacts the queue in place
+// through At/Set/Truncate instead of rebuilding a `remaining` slice per
+// scan, so the steady-state hot path allocates nothing.
+//
+// The zero value is an empty queue ready for use.
+type taskQueue struct {
+	buf  []int // ring storage; len(buf) is a power of two (or zero)
+	head int   // index of element 0 within buf
+	n    int   // number of live elements
+}
+
+// Len returns the number of queued indices.
+func (q *taskQueue) Len() int { return q.n }
+
+// At returns the i-th queued index (0 = front). i must be in [0, Len()).
+func (q *taskQueue) At(i int) int { return q.buf[(q.head+i)&(len(q.buf)-1)] }
+
+// Set overwrites the i-th queued index. i must be in [0, Len()).
+func (q *taskQueue) Set(i, v int) { q.buf[(q.head+i)&(len(q.buf)-1)] = v }
+
+// PushBack appends v to the back of the queue.
+func (q *taskQueue) PushBack(v int) {
+	q.grow(1)
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+// PushFront prepends v to the front of the queue.
+func (q *taskQueue) PushFront(v int) {
+	q.grow(1)
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = v
+	q.n++
+}
+
+// PushFrontAll prepends vs as a block: after the call the queue reads
+// vs[0], vs[1], ..., then the previous contents. This is the multi-victim
+// eviction requeue — the whole block jumps the queue while its internal
+// (ascending task ID) order is preserved.
+func (q *taskQueue) PushFrontAll(vs []int) {
+	q.grow(len(vs))
+	for i := len(vs) - 1; i >= 0; i-- {
+		q.head = (q.head - 1) & (len(q.buf) - 1)
+		q.buf[q.head] = vs[i]
+		q.n++
+	}
+}
+
+// PopFront removes and returns the front index. The queue must not be
+// empty.
+func (q *taskQueue) PopFront() int {
+	if q.n == 0 {
+		panic("sim: PopFront on empty taskQueue")
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
+// Truncate shrinks the queue to its first n elements. n must be in
+// [0, Len()]; growing through Truncate is not allowed.
+func (q *taskQueue) Truncate(n int) {
+	if n < 0 || n > q.n {
+		panic("sim: Truncate out of range")
+	}
+	q.n = n
+}
+
+// grow ensures capacity for k more elements, doubling the ring (and
+// re-linearizing it) as needed.
+func (q *taskQueue) grow(k int) {
+	need := q.n + k
+	if need <= len(q.buf) {
+		return
+	}
+	size := len(q.buf)
+	if size == 0 {
+		size = 16
+	}
+	for size < need {
+		size *= 2
+	}
+	buf := make([]int, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.At(i)
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+// TestEvictionRequeueAscendingBlock is the regression for the eviction
+// requeue ordering bug: victims were sorted ascending but prepended one at
+// a time, leaving the queue front in *descending* task order. The whole
+// sorted block must jump the queue as a unit, ahead of previously queued
+// work, matching the live wq engine's recovery order.
+func TestEvictionRequeueAscendingBlock(t *testing.T) {
+	s := &simulator{cfg: Config{
+		Workflow: &workflow.Workflow{},
+		Policy:   stubbornPolicy{},
+	}.withDefaults()}
+	s.tasks = make([]simTask, 12)
+	s.futureArrivals = 1 // a worker is still due, so dispatch won't declare the queue stranded
+
+	w := newSimWorker(0, resources.PaperWorker())
+	for _, idx := range []int{9, 3, 5} { // deliberately unsorted
+		s.tasks[idx].hasAlloc = true
+		w.running[idx] = &runningTask{idx: idx, endEv: s.engine.After(100, func() {})}
+	}
+	s.workers = []*simWorker{w}
+	s.ready.PushBack(11) // already waiting before the eviction
+
+	s.onEviction(w)
+
+	if s.err != nil {
+		t.Fatal(s.err)
+	}
+	want := []int{3, 5, 9, 11}
+	if got := queueContents(&s.ready); !equalInts(got, want) {
+		t.Errorf("ready queue after eviction = %v, want %v", got, want)
+	}
+	if len(s.workers) != 0 {
+		t.Errorf("evicted worker still in the alive index (%d workers)", len(s.workers))
+	}
+	if s.evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.evictions)
+	}
+	for _, idx := range []int{3, 5, 9} {
+		a := s.tasks[idx].outcome.Attempts
+		if len(a) != 1 || a[0].Status != metrics.Evicted {
+			t.Errorf("task %d attempts = %+v, want one evicted attempt", idx, a)
+		}
+	}
+}

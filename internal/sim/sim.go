@@ -22,10 +22,17 @@ import (
 var ErrCanceled = errors.New("sim: run canceled")
 
 // ctxCheckInterval is how many simulation events may fire between context
-// checks. Checking every event would put a synchronized atomic load on the
-// hot path; every 64th event keeps cancellation latency well under a
-// millisecond of wall time at negligible cost.
+// checks. ctx.Err() is cheap but not free (a mutex acquisition in the
+// stdlib context types); checking every 64th event keeps cancellation
+// latency well under a millisecond of wall time at negligible cost.
 const ctxCheckInterval = 64
+
+// capacitySlack is the relative tolerance applied to worker capacity when
+// deciding whether an allocation fits. Admission (simWorker.fits) and the
+// over-pack invariant check (simulator.place) share this one constant so
+// they can never disagree: an allocation admitted at capacity*(1+slack)
+// is, by the same comparison, never reported as over-packing.
+const capacitySlack = 1e-9
 
 // DefaultMaxAttempts bounds the retry chain of a single task. With doubling
 // escalation a task reaches worker capacity from the 1-unit floor in well
@@ -79,8 +86,8 @@ type Result struct {
 	Makespan float64
 	// PeakWorkers is the largest number of simultaneously alive workers.
 	PeakWorkers int
-	// Evictions counts worker evictions that interrupted at least nothing
-	// or more; every eviction is counted.
+	// Evictions counts worker evictions. Every eviction is counted,
+	// whether it interrupted running tasks or hit an idle worker.
 	Evictions int
 	// Failed counts tasks abandoned permanently after exceeding a retry
 	// bound (live engine only; the simulator retries without bound).
@@ -107,33 +114,55 @@ type runningTask struct {
 type simWorker struct {
 	id       int
 	capacity resources.Vector
-	used     resources.Vector
-	running  map[int]*runningTask
-	alive    bool
+	// limit is capacity scaled by (1 + capacitySlack), precomputed once at
+	// arrival so admission is three comparisons instead of re-deriving the
+	// slack product per kind on every fits probe.
+	limit   resources.Vector
+	used    resources.Vector
+	running map[int]*runningTask
+	alive   bool
 }
 
-func (w *simWorker) fits(alloc resources.Vector) bool {
-	const slack = 1e-9
-	for _, k := range resources.AllocatedKinds() {
-		if w.used.Get(k)+alloc.Get(k) > w.capacity.Get(k)*(1+slack) {
-			return false
-		}
+// newSimWorker builds an alive worker of the given shape with its admission
+// limits precomputed.
+func newSimWorker(id int, shape resources.Vector) *simWorker {
+	w := &simWorker{
+		id:       id,
+		capacity: shape,
+		running:  make(map[int]*runningTask),
+		alive:    true,
 	}
-	return true
+	for k := range shape {
+		w.limit[k] = shape[k] * (1 + capacitySlack)
+	}
+	return w
+}
+
+// fits reports whether alloc fits into the worker's free capacity. The
+// comparisons are bit-identical to `used+alloc > capacity*(1+capacitySlack)`
+// with the product precomputed, and unrolled over the allocated kinds so
+// the hot path performs no slice allocation.
+func (w *simWorker) fits(alloc resources.Vector) bool {
+	return w.used[resources.Cores]+alloc[resources.Cores] <= w.limit[resources.Cores] &&
+		w.used[resources.Memory]+alloc[resources.Memory] <= w.limit[resources.Memory] &&
+		w.used[resources.Disk]+alloc[resources.Disk] <= w.limit[resources.Disk]
 }
 
 type simulator struct {
-	cfg     Config
-	engine  devent.Engine
-	tasks   []simTask
-	ready   []int // task indices awaiting placement, in dispatch priority order
+	cfg    Config
+	engine devent.Engine
+	tasks  []simTask
+	ready  taskQueue // task indices awaiting placement, in dispatch priority order
+	// workers holds only alive workers, in arrival (ascending-ID) order:
+	// eviction removes a worker from the scan set instead of leaving a
+	// tombstone, so placement never iterates the dead.
 	workers []*simWorker
+	victims []int // eviction scratch, reused across onEviction calls
 
 	released          int // tasks [0, released) may start (barrier gating)
 	completed         int
 	completedInPrefix int
 	futureArrivals    int
-	alive             int
 	peakWorkers       int
 	evictions         int
 	makespan          float64
@@ -187,7 +216,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		s.released = cfg.Workflow.Barriers[0]
 	}
 	for i := 0; i < s.released; i++ {
-		s.ready = append(s.ready, i)
+		s.ready.PushBack(i)
 	}
 	s.engine.At(0, s.dispatch)
 	for steps := 0; ; steps++ {
@@ -229,17 +258,11 @@ func (s *simulator) onArrival(id int, a opportunistic.Arrival) {
 	if s.err != nil {
 		return
 	}
-	w := &simWorker{
-		id:       id,
-		capacity: s.cfg.WorkerShape,
-		running:  make(map[int]*runningTask),
-		alive:    true,
-	}
+	w := newSimWorker(id, s.cfg.WorkerShape)
 	s.workers = append(s.workers, w)
 	s.futureArrivals--
-	s.alive++
-	if s.alive > s.peakWorkers {
-		s.peakWorkers = s.alive
+	if len(s.workers) > s.peakWorkers {
+		s.peakWorkers = len(s.workers)
 	}
 	if a.Lifetime > 0 {
 		s.engine.After(a.Lifetime, func() { s.onEviction(w) })
@@ -252,7 +275,14 @@ func (s *simulator) onEviction(w *simWorker) {
 		return
 	}
 	w.alive = false
-	s.alive--
+	// Remove the worker from the alive index: the scan set shrinks instead
+	// of accumulating tombstones that every placement probe would skip.
+	for i, x := range s.workers {
+		if x == w {
+			s.workers = append(s.workers[:i], s.workers[i+1:]...)
+			break
+		}
+	}
 	s.evictions++
 	if s.cfg.Data != nil {
 		s.cfg.Data.DropWorker(w.id)
@@ -260,7 +290,7 @@ func (s *simulator) onEviction(w *simWorker) {
 	now := s.engine.Now()
 	// Iterate the victims in task order: map iteration order would make
 	// the requeue order — and hence the whole run — nondeterministic.
-	victims := make([]int, 0, len(w.running))
+	victims := s.victims[:0]
 	for idx := range w.running {
 		victims = append(victims, idx)
 	}
@@ -274,10 +304,13 @@ func (s *simulator) onEviction(w *simWorker) {
 			Duration: now - rt.start,
 			Status:   metrics.Evicted,
 		})
-		// The task keeps its allocation: eviction says nothing about the
-		// allocation's adequacy. Retries jump the queue.
-		s.ready = append([]int{idx}, s.ready...)
 	}
+	// The tasks keep their allocations: eviction says nothing about the
+	// allocation's adequacy. Retries jump the queue as one block, so the
+	// queue front stays in ascending task-ID order — the same recovery
+	// order the live wq engine uses.
+	s.ready.PushFrontAll(victims)
+	s.victims = victims
 	w.running = make(map[int]*runningTask)
 	w.used = resources.Vector{}
 	s.dispatch()
@@ -302,17 +335,22 @@ func (s *simulator) dispatch() {
 	// managers bound their dispatch scans the same way).
 	const maxConsecutiveMisses = 256
 	misses := 0
-	var remaining []int
-	for qi, idx := range s.ready {
+	// The scan compacts the ring in place: unplaced indices slide down to
+	// position `kept` as the read cursor advances, preserving queue order
+	// without rebuilding a `remaining` slice per dispatch pass.
+	n := s.ready.Len()
+	kept, scanned := 0, 0
+	for ; scanned < n; scanned++ {
 		if misses >= maxConsecutiveMisses {
-			remaining = append(remaining, s.ready[qi:]...)
 			break
 		}
+		idx := s.ready.At(scanned)
 		st := &s.tasks[idx]
 		// Window-gating applies to tasks that never started; a retried or
 		// evicted task was already generated and stays dispatchable.
 		if !st.hasAlloc && idx >= submitted {
-			remaining = append(remaining, idx)
+			s.ready.Set(kept, idx)
+			kept++
 			continue
 		}
 		// Allocation happens at dispatch time (Section II-A): a first
@@ -330,21 +368,28 @@ func (s *simulator) dispatch() {
 			s.place(w, idx)
 			misses = 0
 		} else {
-			remaining = append(remaining, idx)
+			s.ready.Set(kept, idx)
+			kept++
 			misses++
 		}
 	}
-	s.ready = remaining
-	if len(s.ready) > 0 && s.alive == 0 && s.futureArrivals == 0 {
-		s.fail(fmt.Errorf("sim: %d tasks stranded with no workers left", len(s.ready)))
+	// Slide any unscanned tail (miss-bound bailout) down behind the kept
+	// prefix, keeping the original relative order.
+	for ; scanned < n; scanned++ {
+		s.ready.Set(kept, s.ready.At(scanned))
+		kept++
+	}
+	s.ready.Truncate(kept)
+	if s.ready.Len() > 0 && len(s.workers) == 0 && s.futureArrivals == 0 {
+		s.fail(fmt.Errorf("sim: %d tasks stranded with no workers left", s.ready.Len()))
 	}
 }
 
 func (s *simulator) place(w *simWorker, idx int) {
 	st := &s.tasks[idx]
 	w.used = w.used.Add(st.alloc.With(resources.Time, 0))
-	for _, k := range resources.AllocatedKinds() {
-		if w.used.Get(k) > w.capacity.Get(k)*(1+1e-6) {
+	for _, k := range [...]resources.Kind{resources.Cores, resources.Memory, resources.Disk} {
+		if w.used.Get(k) > w.limit.Get(k) {
 			s.fail(fmt.Errorf("sim: worker %d over-packed on %s: %v > %v",
 				w.id, k, w.used.Get(k), w.capacity.Get(k)))
 			return
@@ -403,7 +448,7 @@ func (s *simulator) onTaskEnd(w *simWorker, rt *runningTask, duration float64, e
 		return
 	}
 	st.alloc = s.cfg.Policy.Retry(st.task.Category, st.task.ID, st.alloc, exceeded)
-	s.ready = append([]int{idx}, s.ready...)
+	s.ready.PushFront(idx)
 	s.dispatch()
 }
 
@@ -423,7 +468,7 @@ func (s *simulator) advanceBarrier(completedIdx int) {
 			}
 		}
 		for i := s.released; i < next; i++ {
-			s.ready = append(s.ready, i)
+			s.ready.PushBack(i)
 		}
 		// Count already-completed tasks in the newly released prefix (none
 		// can exist, but keep the invariant explicit).
