@@ -5,7 +5,12 @@ GO ?= go
 BENCH_PKGS = ./internal/sim ./internal/harness
 BENCH_PATTERN = 'BenchmarkSim|BenchmarkRunGrid'
 
-.PHONY: all build test race test-live vet bench bench-smoke short ci clean
+# The bucketing-core and allocator hot-path scenarios, plus the end-to-end
+# paper-pool simulation they dominate; these feed BENCH_alloc.json.
+BENCH_ALLOC_PKGS = ./internal/core ./internal/allocator ./internal/sim
+BENCH_ALLOC_PATTERN = 'BenchmarkCore|BenchmarkAlloc|BenchmarkSimPaperPool1k'
+
+.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke short ci clean
 
 all: build
 
@@ -42,7 +47,17 @@ bench:
 bench-smoke:
 	$(GO) test $(BENCH_PKGS) -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 1x | $(GO) run ./cmd/benchfmt -out BENCH_sim.json
 
-ci: vet build test race test-live bench-smoke
+# Full benchmark run of the allocation path: bucketing-core partitions
+# (cold and incremental), the allocator Allocate/Retry/Observe cycle per
+# algorithm, and the paper-pool simulation; records BENCH_alloc.json.
+bench-alloc:
+	$(GO) test $(BENCH_ALLOC_PKGS) -run '^$$' -bench $(BENCH_ALLOC_PATTERN) -benchmem | $(GO) run ./cmd/benchfmt -out BENCH_alloc.json
+
+# One-iteration smoke of the allocation-path suite, wired into ci.
+bench-alloc-smoke:
+	$(GO) test $(BENCH_ALLOC_PKGS) -run '^$$' -bench $(BENCH_ALLOC_PATTERN) -benchmem -benchtime 1x | $(GO) run ./cmd/benchfmt -out BENCH_alloc.json
+
+ci: vet build test race test-live bench-smoke bench-alloc-smoke
 
 clean:
 	rm -rf figures-out

@@ -45,8 +45,14 @@ type Document struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	out := flag.String("out", "", "output JSON path (required)")
 	flag.Parse()
+	if *out == "" {
+		// Required rather than defaulted: two bench suites feed two different
+		// trajectory files, and a forgotten -out silently clobbering
+		// BENCH_sim.json with allocator numbers is worse than an error.
+		fatal(fmt.Errorf("-out is required (e.g. -out BENCH_sim.json)"))
+	}
 
 	doc := Document{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
 	pkg := ""

@@ -157,11 +157,12 @@ func (c Config) kinds() []resources.Kind {
 // wraps each in the exploratory mode, and serves multi-resource allocations
 // clamped to worker capacity. It is safe for concurrent use.
 type Allocator struct {
-	alg  Name
-	cfg  Config
-	mu   sync.Mutex
-	rng  *rand.Rand
-	cats map[string]*categoryState
+	alg   Name
+	cfg   Config
+	kinds []resources.Kind // cfg.kinds(), computed once at construction
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cats  map[string]*categoryState
 }
 
 type categoryState struct {
@@ -175,10 +176,11 @@ func New(alg Name, cfg Config) (*Allocator, error) {
 	}
 	cfg = cfg.withDefaults(alg)
 	return &Allocator{
-		alg:  alg,
-		cfg:  cfg,
-		rng:  dist.NewRand(cfg.Seed),
-		cats: make(map[string]*categoryState),
+		alg:   alg,
+		cfg:   cfg,
+		kinds: cfg.kinds(),
+		rng:   dist.NewRand(cfg.Seed),
+		cats:  make(map[string]*categoryState),
 	}, nil
 }
 
@@ -204,7 +206,7 @@ func (a *Allocator) category(cat string) *categoryState {
 	cs, ok := a.cats[cat]
 	if !ok {
 		cs = &categoryState{est: make(map[resources.Kind]Estimator, resources.NumKinds)}
-		for _, k := range a.cfg.kinds() {
+		for _, k := range a.kinds {
 			cs.est[k] = a.newEstimator(k)
 		}
 		a.cats[cat] = cs
@@ -251,7 +253,7 @@ func (a *Allocator) Allocate(category string, taskID int) resources.Vector {
 	alloc := resources.New(0, 0, 0, resources.Unlimited)
 	// Iterate kinds in canonical order so the shared RNG stream, and hence
 	// the whole run, is reproducible from the seed.
-	for _, k := range a.cfg.kinds() {
+	for _, k := range a.kinds {
 		v := cs.est[k].Predict(a.rng)
 		alloc = alloc.With(k, a.clamp(k, v))
 	}
@@ -290,7 +292,7 @@ func (a *Allocator) Observe(category string, taskID int, peak resources.Vector, 
 	if a.cfg.FlatSignificance {
 		sig = 1
 	}
-	for _, k := range a.cfg.kinds() {
+	for _, k := range a.kinds {
 		cs.est[k].Observe(record.Record{
 			TaskID: taskID,
 			Value:  peak.Get(k),
@@ -312,15 +314,21 @@ func (a *Allocator) clamp(k resources.Kind, v float64) float64 {
 	return v
 }
 
-// Records returns the number of records observed for a category (any kind).
+// Records returns the number of records observed for a category. Every kind
+// of a category sees the same observations, so the count is read from the
+// first allocated kind in canonical order — not from a map iteration, whose
+// order would make the answering estimator (though not the count) random.
 func (a *Allocator) Records(category string) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.cfg.IgnoreCategories {
+		category = ""
+	}
 	cs, ok := a.cats[category]
 	if !ok {
 		return 0
 	}
-	for _, est := range cs.est {
+	if est, ok := cs.est[a.kinds[0]]; ok {
 		return est.Len()
 	}
 	return 0

@@ -136,6 +136,28 @@ func TestCategoriesAreIndependent(t *testing.T) {
 	}
 }
 
+func TestRecordsDeterministicAcrossConstructions(t *testing.T) {
+	// Records answers from the canonical first allocated kind, not a map
+	// iteration, so repeated constructions with identical observations must
+	// agree — including under IgnoreCategories, where every category pools
+	// into one state.
+	count := func(ignore bool) int {
+		a := MustNew(MaxSeen, Config{Seed: 9, IgnoreCategories: ignore})
+		for i := 1; i <= 7; i++ {
+			a.Observe("cat", i, resources.New(1, 100, 100, 0), 10)
+		}
+		return a.Records("cat")
+	}
+	for i := 0; i < 5; i++ {
+		if got := count(false); got != 7 {
+			t.Fatalf("construction %d: Records = %d, want 7", i, got)
+		}
+		if got := count(true); got != 7 {
+			t.Fatalf("construction %d (pooled): Records = %d, want 7", i, got)
+		}
+	}
+}
+
 func TestDeterministicWithSeed(t *testing.T) {
 	run := func() []float64 {
 		a := MustNew(Exhaustive, Config{Seed: 42})

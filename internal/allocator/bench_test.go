@@ -1,0 +1,57 @@
+package allocator
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dynalloc/internal/resources"
+)
+
+// The allocator benchmark suite: one full scheduler interaction per
+// iteration — Allocate, escalate through Retry until the task's peak fits,
+// Observe — for every algorithm of the evaluation. This is the per-task
+// overhead the paper's Table I argues is negligible; `make bench-alloc`
+// tracks it (with the bucketing-core scenarios) in BENCH_alloc.json.
+
+// BenchmarkAllocCycle measures the full Predict/Retry/Observe cycle per
+// algorithm on a two-category bimodal workload.
+func BenchmarkAllocCycle(b *testing.B) {
+	for _, alg := range ExtendedNames() {
+		b.Run(string(alg), func(b *testing.B) {
+			a := MustNew(alg, Config{Seed: 7})
+			drive := rand.New(rand.NewPCG(7, 0xA11))
+			cats := [2]string{"preproc", "fit"}
+			// Warm both categories out of exploratory mode so the steady
+			// state, not the fixed exploration constant, is measured.
+			for task := 1; task <= 40; task++ {
+				a.Observe(cats[task%2], task, resources.New(2, 1000, 300, 30), 30)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				task := 40 + i + 1
+				cat := cats[task%2]
+				peak := resources.New(
+					1+3*drive.Float64(),
+					200+3000*drive.Float64(),
+					100+800*drive.Float64(),
+					10+50*drive.Float64(),
+				)
+				alloc := a.Allocate(cat, task)
+				for hop := 0; hop < 64; hop++ {
+					var exceeded []resources.Kind
+					for _, k := range resources.AllocatedKinds() {
+						if peak.Get(k) > alloc.Get(k) {
+							exceeded = append(exceeded, k)
+						}
+					}
+					if len(exceeded) == 0 {
+						break
+					}
+					alloc = a.Retry(cat, task, alloc, exceeded)
+				}
+				a.Observe(cat, task, peak, 30)
+			}
+		})
+	}
+}

@@ -23,7 +23,7 @@ type BruteForce struct {
 func (BruteForce) Name() string { return "brute-force" }
 
 // Partition implements Algorithm.
-func (b BruteForce) Partition(l *record.List) []int {
+func (b BruteForce) Partition(l *record.List, s *Scratch) []int {
 	n := l.Len()
 	if n == 0 {
 		return nil
@@ -35,15 +35,19 @@ func (b BruteForce) Partition(l *record.List) []int {
 	if n > maxN {
 		panic("core: BruteForce.Partition on a list larger than MaxRecords")
 	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	v := l.View()
 	best := []int{n - 1}
-	bestCost := computeExhaustCost(l, best)
+	bestCost := computeExhaustCost(v, best, s)
 	// Every subset of {0..n-2} as interior bucket ends.
 	ends := make([]int, 0, n)
 	var rec func(next int)
 	rec = func(next int) {
 		if next == n-1 {
 			cfg := append(append([]int{}, ends...), n-1)
-			if cost := computeExhaustCost(l, cfg); cost < bestCost {
+			if cost := computeExhaustCost(v, cfg, s); cost < bestCost {
 				bestCost = cost
 				best = cfg
 			}
@@ -63,8 +67,8 @@ func (b BruteForce) Partition(l *record.List) []int {
 // partition is optimal). It is a testing/validation helper for small lists.
 func OptimalityGap(l *record.List, ends []int, maxRecords int) float64 {
 	bf := BruteForce{MaxRecords: maxRecords}
-	optimal := computeExhaustCost(l, bf.Partition(l))
-	got := computeExhaustCost(l, ends)
+	optimal := ExpectedWaste(l, bf.Partition(l, nil))
+	got := ExpectedWaste(l, ends)
 	if optimal <= 0 {
 		if got <= 0 {
 			return 1

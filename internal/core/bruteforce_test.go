@@ -12,7 +12,7 @@ import (
 func TestBruteForceMatchesHandEnumeration(t *testing.T) {
 	// Two far-apart clusters: the optimum is clearly the two-bucket split.
 	l := uniformSigList(10, 11, 1000, 1001)
-	ends := BruteForce{}.Partition(l)
+	ends := BruteForce{}.Partition(l, nil)
 	if len(ends) < 2 {
 		t.Fatalf("ends = %v, expected a split", ends)
 	}
@@ -28,7 +28,7 @@ func TestBruteForceMatchesHandEnumeration(t *testing.T) {
 }
 
 func TestBruteForceGuards(t *testing.T) {
-	if got := (BruteForce{}).Partition(&record.List{}); got != nil {
+	if got := (BruteForce{}).Partition(&record.List{}, nil); got != nil {
 		t.Error("empty list should partition to nil")
 	}
 	if (BruteForce{}).Name() != "brute-force" {
@@ -43,7 +43,7 @@ func TestBruteForceGuards(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		big.Add(record.Record{TaskID: i + 1, Value: float64(i), Sig: 1})
 	}
-	BruteForce{}.Partition(big)
+	BruteForce{}.Partition(big, nil)
 }
 
 // Property: the brute-force partition is never worse than the single
@@ -57,9 +57,9 @@ func TestBruteForceIsOptimal(t *testing.T) {
 		for i := 0; i < n; i++ {
 			l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 100, Sig: float64(i + 1)})
 		}
-		optimal := computeExhaustCost(l, BruteForce{}.Partition(l))
+		optimal := ExpectedWaste(l, BruteForce{}.Partition(l, nil))
 		for _, alg := range []Algorithm{GreedyBucketing{}, ExhaustiveBucketing{}} {
-			if computeExhaustCost(l, alg.Partition(l)) < optimal-1e-9 {
+			if ExpectedWaste(l, alg.Partition(l, nil)) < optimal-1e-9 {
 				return false
 			}
 		}
@@ -81,7 +81,7 @@ func TestExhaustiveHeuristicGapIsBounded(t *testing.T) {
 		for i := 0; i < n; i++ {
 			l.Add(record.Record{TaskID: i + 1, Value: r.Float64()*100 + 1, Sig: float64(i + 1)})
 		}
-		gap := OptimalityGap(l, ExhaustiveBucketing{}.Partition(l), 0)
+		gap := OptimalityGap(l, ExhaustiveBucketing{}.Partition(l, nil), 0)
 		if math.IsInf(gap, 1) {
 			t.Fatalf("trial %d: infinite gap", trial)
 		}
@@ -95,7 +95,7 @@ func TestExhaustiveHeuristicGapIsBounded(t *testing.T) {
 
 func TestOptimalityGapPerfect(t *testing.T) {
 	l := uniformSigList(10, 11, 1000, 1001)
-	ends := BruteForce{}.Partition(l)
+	ends := BruteForce{}.Partition(l, nil)
 	if gap := OptimalityGap(l, ends, 0); math.Abs(gap-1) > 1e-12 {
 		t.Errorf("gap of the optimum itself = %v", gap)
 	}

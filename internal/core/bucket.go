@@ -36,12 +36,15 @@ func (b Bucket) String() string {
 	return fmt.Sprintf("bucket[%d:%d] rep=%.3f prob=%.3f n=%d", b.Lo, b.Hi, b.Rep, b.Prob, b.Count)
 }
 
-// bucketsFromEnds materializes buckets from the inclusive end indices of
-// each bucket over the sorted record list. ends must be strictly ascending
-// and terminate at l.Len()-1.
-func bucketsFromEnds(l *record.List, ends []int) []Bucket {
+// appendBucketsCum materializes buckets from the inclusive end indices of
+// each bucket over the sorted record list, appending to dst, and appends the
+// running cumulative probability (cum[i] = Σ prob[0..i], accumulated left to
+// right so it matches a sequential sum bit for bit) to cum. ends must be
+// strictly ascending and terminate at l.Len()-1. Passing the previous
+// buffers re-sliced to length zero makes a recomputation allocation-free.
+func appendBucketsCum(dst []Bucket, cum []float64, l *record.List, ends []int) ([]Bucket, []float64) {
 	total := l.TotalSig()
-	out := make([]Bucket, 0, len(ends))
+	running := 0.0
 	lo := 0
 	for _, hi := range ends {
 		b := Bucket{
@@ -53,9 +56,19 @@ func bucketsFromEnds(l *record.List, ends []int) []Bucket {
 		if total > 0 {
 			b.Prob = l.SigSum(lo, hi) / total
 		}
-		out = append(out, b)
+		running += b.Prob
+		dst = append(dst, b)
+		cum = append(cum, running)
 		lo = hi + 1
 	}
+	return dst, cum
+}
+
+// bucketsFromEnds materializes a fresh bucket slice from end indices; the
+// State recompute path uses appendBucketsCum with reused buffers instead.
+func bucketsFromEnds(l *record.List, ends []int) []Bucket {
+	out := make([]Bucket, 0, len(ends))
+	out, _ = appendBucketsCum(out, nil, l, ends)
 	return out
 }
 
@@ -67,6 +80,33 @@ func sampleBucket(buckets []Bucket, from int, r *rand.Rand) int {
 	for _, b := range buckets[from:] {
 		total += b.Prob
 	}
+	return pickBucket(buckets, from, total, r)
+}
+
+// sampleBucketCum is sampleBucket with the full-range probability mass
+// served from the cumulative array: the common Predict case (from == 0)
+// skips the renormalization re-scan entirely. cum is accumulated left to
+// right, so cum[len-1] is bit-identical to the sequential sum sampleBucket
+// computes. Escalations (from > 0) still sum the tail directly — a
+// prefix-difference would associate the additions differently and perturb
+// the draw by an ulp.
+func sampleBucketCum(buckets []Bucket, cum []float64, from int, r *rand.Rand) int {
+	var total float64
+	if from == 0 {
+		if n := len(cum); n > 0 {
+			total = cum[n-1]
+		}
+	} else {
+		for _, b := range buckets[from:] {
+			total += b.Prob
+		}
+	}
+	return pickBucket(buckets, from, total, r)
+}
+
+// pickBucket draws x uniformly over the probability mass and walks
+// buckets[from:] to find the drawn index.
+func pickBucket(buckets []Bucket, from int, total float64, r *rand.Rand) int {
 	if total <= 0 {
 		return len(buckets) - 1
 	}
@@ -82,10 +122,14 @@ func sampleBucket(buckets []Bucket, from int, r *rand.Rand) int {
 
 // Algorithm computes a bucket partition over a sorted record list. The
 // returned slice holds the inclusive end index of every bucket, ascending,
-// with the final element equal to l.Len()-1.
+// with the final element equal to l.Len()-1. The scratch carries the
+// computation's reusable working memory between calls; it may be nil, in
+// which case the call allocates transient buffers. The returned slice may
+// alias the scratch and is valid only until the next Partition call using
+// the same scratch.
 type Algorithm interface {
 	Name() string
-	Partition(l *record.List) []int
+	Partition(l *record.List, s *Scratch) []int
 }
 
 // ComputeBuckets runs one full bucketing-state computation — partitioning
@@ -93,7 +137,7 @@ type Algorithm interface {
 // recomputation performs. The Table I harness times this step together with
 // an allocation derivation.
 func ComputeBuckets(l *record.List, alg Algorithm) []Bucket {
-	return bucketsFromEnds(l, alg.Partition(l))
+	return bucketsFromEnds(l, alg.Partition(l, nil))
 }
 
 // SampleAllocation derives an allocation from a bucket set the way the

@@ -135,7 +135,7 @@ func TestPartitionInvariants(t *testing.T) {
 			})
 		}
 		for _, alg := range algs {
-			ends := alg.Partition(l)
+			ends := alg.Partition(l, nil)
 			if len(ends) == 0 || ends[len(ends)-1] != n-1 {
 				return false
 			}

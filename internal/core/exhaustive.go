@@ -28,12 +28,17 @@ type ExhaustiveBucketing struct {
 // Name implements Algorithm.
 func (ExhaustiveBucketing) Name() string { return "exhaustive" }
 
-// Partition implements Algorithm.
-func (e ExhaustiveBucketing) Partition(l *record.List) []int {
+// Partition implements Algorithm. The candidate and winner configurations
+// double-buffer through the scratch, so a warm Partition is allocation-free.
+func (e ExhaustiveBucketing) Partition(l *record.List, s *Scratch) []int {
 	n := l.Len()
 	if n == 0 {
 		return nil
 	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	v := l.View()
 	maxB := e.MaxBuckets
 	if maxB <= 0 {
 		maxB = DefaultMaxBuckets
@@ -41,32 +46,32 @@ func (e ExhaustiveBucketing) Partition(l *record.List) []int {
 	if maxB > n {
 		maxB = n
 	}
-	best := []int{n - 1}
-	bestCost := computeExhaustCost(l, best)
+	s.best = append(s.best[:0], n-1)
+	bestCost := computeExhaustCost(v, s.best, s)
 	for nb := 2; nb <= maxB; nb++ {
-		ends := evenEnds(l, nb)
+		ends := evenEnds(v, nb, s.cand[:0])
+		s.cand = ends
 		if len(ends) < 2 {
 			continue // configuration degenerated to a single bucket
 		}
-		cost := computeExhaustCost(l, ends)
+		cost := computeExhaustCost(v, ends, s)
 		if cost < bestCost {
 			bestCost = cost
-			best = ends
+			s.best, s.cand = ends, s.best
 		}
 	}
-	return best
+	return s.best
 }
 
-// evenEnds returns the candidate bucket end indices for a target of nb
-// buckets: break values at v_max·i/nb for i = 1..nb-1, each mapped to the
+// evenEnds appends to ends the candidate bucket end indices for a target of
+// nb buckets: break values at v_max·i/nb for i = 1..nb-1, each mapped to the
 // closest record strictly below it, deduplicated, plus the final index.
-func evenEnds(l *record.List, nb int) []int {
-	n := l.Len()
-	vmax := l.MaxValue()
-	ends := make([]int, 0, nb)
+func evenEnds(v record.View, nb int, ends []int) []int {
+	n := v.Len()
+	vmax := v.MaxValue()
 	prev := -1
 	for i := 1; i < nb; i++ {
-		idx := l.SearchValue(vmax * float64(i) / float64(nb))
+		idx := v.SearchValue(vmax * float64(i) / float64(nb))
 		if idx < 0 || idx == prev || idx >= n-1 {
 			continue // empty or duplicate mapping, or collides with the last bucket
 		}
@@ -78,7 +83,7 @@ func evenEnds(l *record.List, nb int) []int {
 
 // computeExhaustCost is compute_exhaust_cost of Algorithm 2: the expected
 // resource waste of the next task under the bucket configuration described
-// by ends. It fills the N×N table T where T[i][j] is the expected waste
+// by ends. It evaluates the N×N table T where T[i][j] is the expected waste
 // when the task truly falls within bucket i and the allocator chooses bucket
 // j:
 //
@@ -86,54 +91,56 @@ func evenEnds(l *record.List, nb int) []int {
 //	i >  j: T[i][j] = rep_j + Σ_{k>j} p_k/P_{>j} · T[i][k]   (failed, retried
 //	        among the renormalized higher buckets)
 //
-// filled from the last column toward the first, and returns
-// W = Σ_{i,j} p_i · p_j · T[i][j].
-func computeExhaustCost(l *record.List, ends []int) float64 {
+// and returns W = Σ_{i,j} p_i · p_j · T[i][j].
+//
+// The retry-chain sum is evaluated in O(nB²) rather than the textbook
+// O(nB³): within each row i, a running accumulator acc = Σ_{k>j} p_k·T[i][k]
+// is carried from the last column toward the first, so T[i][j] for a failure
+// entry is rep_j + acc/tail_{j+1} in O(1), and the same accumulator ends the
+// row as Σ_j p_j·T[i][j] — the row's full contribution to W. No nB×nB table
+// is materialized at all; the only working memory is the four per-bucket
+// slices from the scratch.
+func computeExhaustCost(v record.View, ends []int, s *Scratch) float64 {
+	if s == nil {
+		s = &Scratch{}
+	}
 	nB := len(ends)
-	rep := make([]float64, nB)
-	prob := make([]float64, nB)
-	v := make([]float64, nB)
-	total := l.TotalSig()
+	rep, prob, mean, tail := s.floats(nB)
+	total := v.TotalSig()
 	lo := 0
 	for j, hi := range ends {
-		rep[j] = l.Value(hi)
+		rep[j] = v.Value(hi)
+		prob[j] = 0
 		if total > 0 {
-			prob[j] = l.SigSum(lo, hi) / total
+			prob[j] = v.SigSum(lo, hi) / total
 		}
-		v[j] = l.WeightedMean(lo, hi)
+		mean[j] = v.WeightedMean(lo, hi)
 		lo = hi + 1
 	}
 
 	// tail[j] = Σ_{m >= j} prob_m, so the renormalizer for buckets above j
 	// is tail[j+1].
-	tail := make([]float64, nB+1)
+	tail[nB] = 0
 	for j := nB - 1; j >= 0; j-- {
 		tail[j] = tail[j+1] + prob[j]
 	}
 
-	t := make([][]float64, nB)
-	for i := range t {
-		t[i] = make([]float64, nB)
-		for j := nB - 1; j >= 0; j-- {
-			if i <= j {
-				t[i][j] = rep[j] - v[i]
-				continue
-			}
-			sum := rep[j]
-			if tail[j+1] > 0 {
-				for k := j + 1; k < nB; k++ {
-					sum += prob[k] / tail[j+1] * t[i][k]
-				}
-			}
-			t[i][j] = sum
-		}
-	}
-
 	w := 0.0
 	for i := 0; i < nB; i++ {
-		for j := 0; j < nB; j++ {
-			w += prob[i] * prob[j] * t[i][j]
+		acc := 0.0 // Σ over the columns visited so far of p_k·T[i][k]
+		for j := nB - 1; j >= 0; j-- {
+			var tij float64
+			if i <= j {
+				tij = rep[j] - mean[i]
+			} else {
+				tij = rep[j]
+				if t := tail[j+1]; t > 0 {
+					tij += acc / t
+				}
+			}
+			acc += prob[j] * tij
 		}
+		w += prob[i] * acc
 	}
 	if math.IsNaN(w) {
 		return math.Inf(1)
@@ -146,5 +153,5 @@ func computeExhaustCost(l *record.List, ends []int) float64 {
 // (given by inclusive end indices over the sorted record list) by its
 // expected resource waste for the next task.
 func ExpectedWaste(l *record.List, ends []int) float64 {
-	return computeExhaustCost(l, ends)
+	return computeExhaustCost(l.View(), ends, nil)
 }

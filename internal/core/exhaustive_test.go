@@ -13,12 +13,12 @@ func TestEvenEndsBasic(t *testing.T) {
 	l := uniformSigList(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
 	// nb = 2: break value at 50 -> closest record strictly below 50 is 40
 	// (index 3); ends = [3, 9].
-	ends := evenEnds(l, 2)
+	ends := evenEnds(l.View(), 2, nil)
 	if len(ends) != 2 || ends[0] != 3 || ends[1] != 9 {
 		t.Errorf("evenEnds(2) = %v, want [3 9]", ends)
 	}
 	// nb = 4: break values 25, 50, 75 -> indices of 20, 40, 70 = 1, 3, 6.
-	ends = evenEnds(l, 4)
+	ends = evenEnds(l.View(), 4, nil)
 	want := []int{1, 3, 6, 9}
 	if len(ends) != len(want) {
 		t.Fatalf("evenEnds(4) = %v, want %v", ends, want)
@@ -35,7 +35,7 @@ func TestEvenEndsDropsEmptyAndDuplicateMappings(t *testing.T) {
 	// and must be dropped; close break values map to the same record and
 	// must be deduplicated.
 	l := uniformSigList(90, 91, 92, 93, 100)
-	ends := evenEnds(l, 10) // break values 10,20,...,90
+	ends := evenEnds(l.View(), 10, nil) // break values 10,20,...,90
 	for i := 1; i < len(ends); i++ {
 		if ends[i] <= ends[i-1] {
 			t.Fatalf("evenEnds produced non-ascending ends %v", ends)
@@ -49,7 +49,7 @@ func TestEvenEndsDropsEmptyAndDuplicateMappings(t *testing.T) {
 func TestEvenEndsNeverCollidesWithFinalBucket(t *testing.T) {
 	l := uniformSigList(1, 2, 3)
 	for nb := 2; nb <= 10; nb++ {
-		ends := evenEnds(l, nb)
+		ends := evenEnds(l.View(), nb, nil)
 		for i := 0; i < len(ends)-1; i++ {
 			if ends[i] >= 2 {
 				t.Fatalf("nb=%d: interior end %d collides with final bucket", nb, ends[i])
@@ -61,7 +61,7 @@ func TestEvenEndsNeverCollidesWithFinalBucket(t *testing.T) {
 func TestComputeExhaustCostSingleBucket(t *testing.T) {
 	l := uniformSigList(10, 20, 30)
 	// One bucket: rep = 30, v = 20 -> expected waste = 10.
-	if got := computeExhaustCost(l, []int{2}); math.Abs(got-10) > 1e-12 {
+	if got := ExpectedWaste(l, []int{2}); math.Abs(got-10) > 1e-12 {
 		t.Errorf("single bucket cost = %v, want 10", got)
 	}
 }
@@ -72,8 +72,46 @@ func TestComputeExhaustCostTwoBucketsHand(t *testing.T) {
 	// T[0][0]=0, T[0][1]=20, T[1][1]=0, T[1][0]=10 + 1.0*T[1][1] = 10.
 	// W = .25*(0 + 20 + 10 + 0) = 7.5 — equal to the greedy split cost.
 	l := uniformSigList(10, 30)
-	if got := computeExhaustCost(l, []int{0, 1}); math.Abs(got-7.5) > 1e-12 {
+	if got := ExpectedWaste(l, []int{0, 1}); math.Abs(got-7.5) > 1e-12 {
 		t.Errorf("two-bucket cost = %v, want 7.5", got)
+	}
+}
+
+// TestComputeExhaustCostFourBucketRetryChainHand pins the retry-chain
+// recurrence on a fully hand-computed 4-bucket case. Every quantity is a
+// dyadic rational, so the expected cost is exact in binary floating point
+// under any summation order — the O(nB²) suffix-accumulator evaluation must
+// reproduce it to the bit, not within an epsilon.
+//
+// Records (value, sig): (4,4), (8,2), (16,1), (32,1); one bucket per record.
+//
+//	rep = v = [4, 8, 16, 32]
+//	p   = [1/2, 1/4, 1/8, 1/8],  tail = [1, 1/2, 1/4, 1/8, 0]
+//
+// Failure rows, filled from the last column (T[i][j] = rep_j + Σ_{k>j}
+// p_k/tail_{j+1}·T[i][k]):
+//
+//	row 0: T[0][·] = [0, 4, 12, 28]              (all-success row)
+//	row 1: T[1][0] = 4 + (1/2)·0 + (1/4)·8 + (1/4)·24        = 12
+//	row 2: T[2][1] = 8 + (1/2)·0 + (1/2)·16                  = 16
+//	       T[2][0] = 4 + (1/2)·16 + (1/4)·0 + (1/4)·16       = 16
+//	row 3: T[3][2] = 16 + 1·0                                = 16
+//	       T[3][1] = 8 + (1/2)·16 + (1/2)·0                  = 16
+//	       T[3][0] = 4 + (1/2)·16 + (1/4)·16 + (1/4)·0       = 16
+//
+// W = Σ p_i·p_j·T[i][j] = (1/2)·6 + (1/4)·10 + (1/8)·14 + (1/8)·14 = 9.
+func TestComputeExhaustCostFourBucketRetryChainHand(t *testing.T) {
+	l := &record.List{}
+	for _, rec := range []record.Record{
+		{TaskID: 1, Value: 4, Sig: 4},
+		{TaskID: 2, Value: 8, Sig: 2},
+		{TaskID: 3, Value: 16, Sig: 1},
+		{TaskID: 4, Value: 32, Sig: 1},
+	} {
+		l.Add(rec)
+	}
+	if got := ExpectedWaste(l, []int{0, 1, 2, 3}); got != 9 {
+		t.Errorf("four-bucket retry-chain cost = %v, want exactly 9", got)
 	}
 }
 
@@ -116,7 +154,7 @@ func TestExhaustCostMatchesMonteCarlo(t *testing.T) {
 		{9, 29, 59},
 		{4, 14, 34, 59},
 	} {
-		analytic := computeExhaustCost(l, ends)
+		analytic := ExpectedWaste(l, ends)
 		mc := simulateExpectedWaste(l, ends, 300000, r)
 		if math.Abs(analytic-mc) > 0.02*(1+math.Abs(analytic)) {
 			t.Errorf("ends %v: analytic %v vs monte-carlo %v", ends, analytic, mc)
@@ -151,9 +189,9 @@ func TestExhaustiveBeatsOrMatchesSingleBucket(t *testing.T) {
 		for i := 0; i < n; i++ {
 			l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 100, Sig: float64(i + 1)})
 		}
-		ends := ExhaustiveBucketing{}.Partition(l)
-		chosen := computeExhaustCost(l, ends)
-		single := computeExhaustCost(l, []int{n - 1})
+		ends := ExhaustiveBucketing{}.Partition(l, nil)
+		chosen := ExpectedWaste(l, ends)
+		single := ExpectedWaste(l, []int{n - 1})
 		return chosen <= single+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -168,11 +206,11 @@ func TestExhaustiveNearTrueOptimumOnSeparatedClusters(t *testing.T) {
 	l := uniformSigList(values...)
 	best := math.Inf(1)
 	for _, cfg := range allConfigurations(len(values)) {
-		if c := computeExhaustCost(l, cfg); c < best {
+		if c := ExpectedWaste(l, cfg); c < best {
 			best = c
 		}
 	}
-	got := computeExhaustCost(l, ExhaustiveBucketing{}.Partition(l))
+	got := ExpectedWaste(l, ExhaustiveBucketing{}.Partition(l, nil))
 	if got > best*1.25+1e-9 {
 		t.Errorf("even-spacing cost %v too far above true optimum %v", got, best)
 	}
@@ -185,24 +223,24 @@ func TestExhaustiveRespectsMaxBuckets(t *testing.T) {
 		l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 1000, Sig: float64(i + 1)})
 	}
 	for _, maxB := range []int{1, 2, 3, 5, 10} {
-		ends := ExhaustiveBucketing{MaxBuckets: maxB}.Partition(l)
+		ends := ExhaustiveBucketing{MaxBuckets: maxB}.Partition(l, nil)
 		if len(ends) > maxB {
 			t.Errorf("MaxBuckets=%d produced %d buckets", maxB, len(ends))
 		}
 	}
 	// Default cap is 10.
-	ends := ExhaustiveBucketing{}.Partition(l)
+	ends := ExhaustiveBucketing{}.Partition(l, nil)
 	if len(ends) > DefaultMaxBuckets {
 		t.Errorf("default cap exceeded: %d buckets", len(ends))
 	}
 }
 
 func TestExhaustiveEmptyAndSingleton(t *testing.T) {
-	if got := (ExhaustiveBucketing{}).Partition(&record.List{}); got != nil {
+	if got := (ExhaustiveBucketing{}).Partition(&record.List{}, nil); got != nil {
 		t.Errorf("empty partition = %v", got)
 	}
 	l := uniformSigList(5)
-	ends := ExhaustiveBucketing{}.Partition(l)
+	ends := ExhaustiveBucketing{}.Partition(l, nil)
 	if len(ends) != 1 || ends[0] != 0 {
 		t.Errorf("singleton partition = %v", ends)
 	}
@@ -243,11 +281,11 @@ func TestBucketCountStaysSmall(t *testing.T) {
 		for i := 0; i < 2000; i++ {
 			l.Add(record.Record{TaskID: i + 1, Value: g(), Sig: float64(i + 1)})
 		}
-		eb := ExhaustiveBucketing{}.Partition(l)
+		eb := ExhaustiveBucketing{}.Partition(l, nil)
 		if len(eb) > 10 {
 			t.Errorf("%s: exhaustive produced %d buckets", name, len(eb))
 		}
-		gb := GreedyBucketing{}.Partition(l)
+		gb := GreedyBucketing{}.Partition(l, nil)
 		if len(gb) > 64 {
 			t.Errorf("%s: greedy produced an implausible %d buckets", name, len(gb))
 		}

@@ -18,36 +18,75 @@ type GreedyBucketing struct{}
 // Name implements Algorithm.
 func (GreedyBucketing) Name() string { return "greedy" }
 
-// Partition implements Algorithm.
-func (GreedyBucketing) Partition(l *record.List) []int {
+// Partition implements Algorithm. The output buffer lives in the scratch,
+// so a warm Partition is allocation-free.
+func (GreedyBucketing) Partition(l *record.List, s *Scratch) []int {
 	n := l.Len()
 	if n == 0 {
 		return nil
 	}
-	return greedySplit(l, 0, n-1, make([]int, 0, 8))
+	if s == nil {
+		s = &Scratch{}
+	}
+	if cap(s.best) < 8 {
+		s.best = make([]int, 0, 8)
+	}
+	s.best = greedySplit(l.View(), 0, n-1, s.best[:0])
+	return s.best
 }
 
 // greedySplit appends the bucket end indices for the sorted range [lo, hi]
-// to out and returns the extended slice.
-func greedySplit(l *record.List, lo, hi int, out []int) []int {
+// to out and returns the extended slice. The candidate sweep runs directly
+// over the snapshot's prefix-sum slices with the range-invariant terms
+// (the range's prefix bases and the right bucket's representative) hoisted
+// out of the loop; the per-candidate arithmetic is exactly greedyCost's.
+func greedySplit(v record.View, lo, hi int, out []int) []int {
 	if lo == hi {
 		return append(out, hi)
 	}
+	pSig, pVS := v.PrefixSig, v.PrefixValSig
+	sigLo, vsLo := pSig[lo], pVS[lo]
+	sigHi, vsHi := pSig[hi+1], pVS[hi+1]
+	rep2 := v.Sorted[hi].Value
 	minCost := math.Inf(1)
 	breakIdx := hi
-	for i := lo; i <= hi; i++ {
-		cost := greedyCost(l, lo, i, hi)
+	for i := lo; i < hi; i++ {
+		s1 := pSig[i+1] - sigLo
+		s2 := sigHi - pSig[i+1]
+		total := s1 + s2
+		if total <= 0 {
+			continue // +Inf cost can never beat the running minimum
+		}
+		p1 := s1 / total
+		p2 := s2 / total
+		rep1 := v.Sorted[i].Value
+		var vLo, vHi float64
+		if s1 != 0 {
+			vLo = (pVS[i+1] - vsLo) / s1
+		}
+		if s2 != 0 {
+			vHi = (vsHi - pVS[i+1]) / s2
+		}
+		cost := p1*p1*(rep1-vLo) +
+			p1*p2*(rep2-vLo) +
+			p2*p1*(rep1+rep2-vHi) +
+			p2*p2*(rep2-vHi)
 		if cost < minCost {
 			minCost = cost
 			breakIdx = i
 		}
 	}
+	// i == hi evaluates the single-bucket configuration last, exactly as the
+	// uniform sweep did: a strict < keeps earlier break points on ties.
+	if singleCost := rep2 - v.WeightedMean(lo, hi); singleCost < minCost {
+		breakIdx = hi
+	}
 	if breakIdx == hi {
 		// A single bucket over [lo, hi] yields the minimum expected waste.
 		return append(out, hi)
 	}
-	out = greedySplit(l, lo, breakIdx, out)
-	out = greedySplit(l, breakIdx+1, hi, out)
+	out = greedySplit(v, lo, breakIdx, out)
+	out = greedySplit(v, breakIdx+1, hi, out)
 	return out
 }
 
@@ -63,23 +102,25 @@ func greedySplit(l *record.List, lo, hi int, out []int) []int {
 //
 // where v_lo and v_hi are the significance-weighted mean values of the
 // respective buckets. i == hi evaluates the single-bucket configuration,
-// whose expected waste is rep - v_mean.
-func greedyCost(l *record.List, lo, i, hi int) float64 {
+// whose expected waste is rep - v_mean. greedySplit inlines this arithmetic
+// with the range invariants hoisted; this form is the reference the tests
+// check against.
+func greedyCost(v record.View, lo, i, hi int) float64 {
 	if i == hi {
-		return l.Value(hi) - l.WeightedMean(lo, hi)
+		return v.Value(hi) - v.WeightedMean(lo, hi)
 	}
-	s1 := l.SigSum(lo, i)
-	s2 := l.SigSum(i+1, hi)
+	s1 := v.SigSum(lo, i)
+	s2 := v.SigSum(i+1, hi)
 	total := s1 + s2
 	if total <= 0 {
 		return math.Inf(1)
 	}
 	p1 := s1 / total
 	p2 := s2 / total
-	rep1 := l.Value(i)
-	rep2 := l.Value(hi)
-	vLo := l.WeightedMean(lo, i)
-	vHi := l.WeightedMean(i+1, hi)
+	rep1 := v.Value(i)
+	rep2 := v.Value(hi)
+	vLo := v.WeightedMean(lo, i)
+	vHi := v.WeightedMean(i+1, hi)
 	return p1*p1*(rep1-vLo) +
 		p1*p2*(rep2-vLo) +
 		p2*p1*(rep1+rep2-vHi) +

@@ -49,7 +49,7 @@ func TestGreedyCostMatchesNaive(t *testing.T) {
 			l.Add(record.Record{TaskID: i + 1, Value: r.Float64() * 50, Sig: float64(i + 1)})
 		}
 		for i := 0; i < n; i++ {
-			got := greedyCost(l, 0, i, n-1)
+			got := greedyCost(l.View(), 0, i, n-1)
 			want := naiveGreedyCost(l, 0, i, n-1)
 			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
 				return false
@@ -68,11 +68,11 @@ func TestGreedyCostHandComputed(t *testing.T) {
 	// Split after index 0: p1 = p2 = 0.5, rep1=10, rep2=30, vLo=10, vHi=30.
 	// cost = .25*(10-10) + .25*(30-10) + .25*(10+30-30) + .25*(30-30)
 	//      = 0 + 5 + 2.5 + 0 = 7.5
-	if got := greedyCost(l, 0, 0, 1); math.Abs(got-7.5) > 1e-12 {
+	if got := greedyCost(l.View(), 0, 0, 1); math.Abs(got-7.5) > 1e-12 {
 		t.Errorf("split cost = %v, want 7.5", got)
 	}
 	// Single bucket: rep=30, mean=20 -> cost 10.
-	if got := greedyCost(l, 0, 1, 1); math.Abs(got-10) > 1e-12 {
+	if got := greedyCost(l.View(), 0, 1, 1); math.Abs(got-10) > 1e-12 {
 		t.Errorf("single-bucket cost = %v, want 10", got)
 	}
 }
@@ -81,7 +81,7 @@ func TestGreedySplitsWellSeparatedClusters(t *testing.T) {
 	// Two tight clusters far apart: greedy must break between them.
 	values := []float64{100, 101, 102, 103, 5000, 5001, 5002, 5003}
 	l := uniformSigList(values...)
-	ends := GreedyBucketing{}.Partition(l)
+	ends := GreedyBucketing{}.Partition(l, nil)
 	found := false
 	for _, e := range ends {
 		if e == 3 {
@@ -95,7 +95,7 @@ func TestGreedySplitsWellSeparatedClusters(t *testing.T) {
 
 func TestGreedySingleBucketOnConstantValues(t *testing.T) {
 	l := uniformSigList(306, 306, 306, 306, 306)
-	ends := GreedyBucketing{}.Partition(l)
+	ends := GreedyBucketing{}.Partition(l, nil)
 	if len(ends) != 1 || ends[0] != 4 {
 		t.Errorf("constant values should form one bucket, got ends %v", ends)
 	}
@@ -114,7 +114,7 @@ func TestGreedyRecursionFindsNestedClusters(t *testing.T) {
 		values = append(values, 9000+float64(i))
 	}
 	l := uniformSigList(values...)
-	ends := GreedyBucketing{}.Partition(l)
+	ends := GreedyBucketing{}.Partition(l, nil)
 	has := func(e int) bool {
 		for _, x := range ends {
 			if x == e {
@@ -129,11 +129,11 @@ func TestGreedyRecursionFindsNestedClusters(t *testing.T) {
 }
 
 func TestGreedyEmptyAndSingleton(t *testing.T) {
-	if got := (GreedyBucketing{}).Partition(&record.List{}); got != nil {
+	if got := (GreedyBucketing{}).Partition(&record.List{}, nil); got != nil {
 		t.Errorf("empty partition = %v, want nil", got)
 	}
 	l := uniformSigList(42)
-	ends := GreedyBucketing{}.Partition(l)
+	ends := GreedyBucketing{}.Partition(l, nil)
 	if len(ends) != 1 || ends[0] != 0 {
 		t.Errorf("singleton partition = %v", ends)
 	}
@@ -158,7 +158,7 @@ func TestGreedyTopLevelOptimality(t *testing.T) {
 		best := math.Inf(1)
 		bestIdx := -1
 		for i := 0; i < n; i++ {
-			c := greedyCost(l, 0, i, n-1)
+			c := greedyCost(l.View(), 0, i, n-1)
 			if c < best {
 				best, bestIdx = c, i
 			}
@@ -167,7 +167,7 @@ func TestGreedyTopLevelOptimality(t *testing.T) {
 		minCost := math.Inf(1)
 		breakIdx := n - 1
 		for i := 0; i < n; i++ {
-			cost := greedyCost(l, 0, i, n-1)
+			cost := greedyCost(l.View(), 0, i, n-1)
 			if cost < minCost {
 				minCost, breakIdx = cost, i
 			}
@@ -190,7 +190,7 @@ func TestGreedyHandlesLargeNormalSample(t *testing.T) {
 		}
 		l.Add(record.Record{TaskID: i + 1, Value: v, Sig: float64(i + 1)})
 	}
-	ends := GreedyBucketing{}.Partition(l)
+	ends := GreedyBucketing{}.Partition(l, nil)
 	if len(ends) == 0 {
 		t.Fatal("no buckets")
 	}

@@ -1,0 +1,41 @@
+package core
+
+// Scratch is the reusable working memory of the partition hot path. One
+// bucketing recomputation needs a handful of per-bucket slices (the
+// representative, probability, mean, and probability-tail arrays of
+// compute_exhaust_cost) plus two candidate-configuration buffers (the
+// sweep's current candidate and the best seen so far). Allocating them per
+// recomputation dominated the allocator's cost structure — one recompute per
+// completion batch, per category and resource kind — so every State owns one
+// Scratch and threads it through Algorithm.Partition; the steady state is
+// allocation-free.
+//
+// A nil *Scratch is accepted everywhere and behaves like a fresh, empty one,
+// so one-shot callers (tests, the worked-example tooling) need not manage
+// buffers. A Scratch is not safe for concurrent use; neither are the States
+// that own them.
+//
+// Slices returned by Partition alias the Scratch and remain valid only until
+// the next Partition call that uses it.
+type Scratch struct {
+	rep  []float64 // representative value per bucket
+	prob []float64 // normalized significance share per bucket
+	mean []float64 // significance-weighted mean value per bucket
+	tail []float64 // tail[j] = Σ_{m >= j} prob[m]
+
+	cand []int // candidate configuration under evaluation
+	best []int // best configuration seen; Partition's return value
+}
+
+// floats resizes the four per-bucket float buffers to hold nB buckets and
+// returns them.
+func (s *Scratch) floats(nB int) (rep, prob, mean, tail []float64) {
+	if cap(s.tail) < nB+1 {
+		c := nB + 1 + 8
+		s.rep = make([]float64, 0, c)
+		s.prob = make([]float64, 0, c)
+		s.mean = make([]float64, 0, c)
+		s.tail = make([]float64, 0, c)
+	}
+	return s.rep[:nB], s.prob[:nB], s.mean[:nB], s.tail[:nB+1]
+}

@@ -25,14 +25,21 @@ type Stats struct {
 // the batching behaviour described in Section V-C (a sequence of completed
 // tasks between two ready tasks costs one recomputation).
 //
+// The state owns all working memory of the recompute path — the partition
+// scratch, the bucket slice, and the cumulative-probability array — and
+// reuses it across recomputations, so a warm recompute is allocation-free.
+//
 // State is not safe for concurrent use; callers serialize access (the
 // allocator owns one goroutine-confined state per category and kind).
 type State struct {
-	alg     Algorithm
-	recs    record.List
-	buckets []Bucket
-	dirty   bool
-	stats   Stats
+	alg      Algorithm
+	recs     record.List
+	buckets  []Bucket
+	cum      []float64 // cum[i] = Σ buckets[0..i].Prob, for Predict sampling
+	scratch  Scratch
+	computed bool // a bucket set exists (distinguishes empty from stale)
+	dirty    bool
+	stats    Stats
 }
 
 // NewState returns an empty bucketing state driven by the given algorithm.
@@ -60,18 +67,20 @@ func (s *State) Records() *record.List { return &s.recs }
 func (s *State) Stats() Stats { return s.stats }
 
 // Buckets returns the current bucket set, recomputing it first if any
-// records arrived since the last computation.
+// records arrived since the last computation. The returned slice is owned by
+// the state and is valid until the first query after the next Add.
 func (s *State) Buckets() []Bucket {
-	if s.dirty || s.buckets == nil {
+	if s.dirty || !s.computed {
 		start := time.Now()
-		ends := s.alg.Partition(&s.recs)
-		s.buckets = bucketsFromEnds(&s.recs, ends)
+		ends := s.alg.Partition(&s.recs, &s.scratch)
+		s.buckets, s.cum = appendBucketsCum(s.buckets[:0], s.cum[:0], &s.recs, ends)
 		s.stats.RecomputeTime += time.Since(start)
 		s.stats.Recomputes++
 		s.stats.LastBuckets = len(s.buckets)
 		if len(s.buckets) > s.stats.MaxBuckets {
 			s.stats.MaxBuckets = len(s.buckets)
 		}
+		s.computed = true
 		s.dirty = false
 	}
 	return s.buckets
@@ -87,7 +96,7 @@ func (s *State) Predict(r *rand.Rand) float64 {
 	if len(bs) == 0 {
 		return 0
 	}
-	return bs[sampleBucket(bs, 0, r)].Rep
+	return bs[sampleBucketCum(bs, s.cum, 0, r)].Rep
 }
 
 // Retry returns the allocation for a task that exhausted a previous
@@ -112,5 +121,5 @@ func (s *State) Retry(prev float64, r *rand.Rand) float64 {
 		}
 		return prev * 2
 	}
-	return bs[sampleBucket(bs, from, r)].Rep
+	return bs[sampleBucketCum(bs, s.cum, from, r)].Rep
 }

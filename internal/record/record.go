@@ -35,6 +35,7 @@ type Record struct {
 type List struct {
 	recs    []Record
 	sorted  []Record
+	spare   []Record // retired sorted view, reused as the next merge target
 	pending []Record
 	dirty   bool
 
@@ -72,10 +73,31 @@ func (l *List) rebuild() {
 	sort.SliceStable(l.pending, func(i, j int) bool {
 		return l.pending[i].Value < l.pending[j].Value
 	})
-	if len(l.sorted) == 0 {
+	// firstChanged is the first sorted index whose record moved; prefix sums
+	// below it are still valid and are not recomputed.
+	firstChanged := len(l.sorted)
+	switch {
+	case len(l.pending) == 0:
+		// First query on an empty list: materialize the (empty) view.
+		firstChanged = 0
+	case len(l.sorted) == 0:
 		l.sorted = append(l.sorted, l.pending...)
-	} else if len(l.pending) > 0 {
-		merged := make([]Record, 0, len(l.sorted)+len(l.pending))
+		firstChanged = 0
+	case l.pending[0].Value >= l.sorted[len(l.sorted)-1].Value:
+		// Append fast path: the whole batch lands at or above the current
+		// maximum, which is the common case for monotone workload phases.
+		// (On ties the merge below would also keep the older records first,
+		// so appending matches it exactly.)
+		l.sorted = append(l.sorted, l.pending...)
+	default:
+		// Merge into the retired buffer of the previous rebuild rather than
+		// a fresh slice; the two views ping-pong so the steady state is
+		// allocation-free.
+		need := len(l.sorted) + len(l.pending)
+		merged := l.spare[:0]
+		if cap(merged) < need {
+			merged = make([]Record, 0, need+need/4)
+		}
 		i, j := 0, 0
 		for i < len(l.sorted) && j < len(l.pending) {
 			// <= keeps earlier-inserted (already sorted) records first on
@@ -84,29 +106,37 @@ func (l *List) rebuild() {
 				merged = append(merged, l.sorted[i])
 				i++
 			} else {
+				if j == 0 {
+					firstChanged = i
+				}
 				merged = append(merged, l.pending[j])
 				j++
 			}
 		}
 		merged = append(merged, l.sorted[i:]...)
 		merged = append(merged, l.pending[j:]...)
-		l.sorted = merged
+		l.sorted, l.spare = merged, l.sorted
 	}
 	l.pending = l.pending[:0]
 	n := len(l.sorted)
 	if cap(l.prefixSig) < n+1 {
-		l.prefixSig = make([]float64, n+1)
-		l.prefixValSig = make([]float64, n+1)
-		l.prefixTime = make([]float64, n+1)
-		l.prefixValT = make([]float64, n+1)
+		c := n + 1 + (n+1)/4
+		l.prefixSig = make([]float64, n+1, c)
+		l.prefixValSig = make([]float64, n+1, c)
+		l.prefixTime = make([]float64, n+1, c)
+		l.prefixValT = make([]float64, n+1, c)
+		firstChanged = 0
 	} else {
 		l.prefixSig = l.prefixSig[:n+1]
 		l.prefixValSig = l.prefixValSig[:n+1]
 		l.prefixTime = l.prefixTime[:n+1]
 		l.prefixValT = l.prefixValT[:n+1]
 	}
-	l.prefixSig[0], l.prefixValSig[0], l.prefixTime[0], l.prefixValT[0] = 0, 0, 0, 0
-	for i, r := range l.sorted {
+	if firstChanged == 0 {
+		l.prefixSig[0], l.prefixValSig[0], l.prefixTime[0], l.prefixValT[0] = 0, 0, 0, 0
+	}
+	for i := firstChanged; i < n; i++ {
+		r := l.sorted[i]
 		l.prefixSig[i+1] = l.prefixSig[i] + r.Sig
 		l.prefixValSig[i+1] = l.prefixValSig[i] + r.Value*r.Sig
 		l.prefixTime[i+1] = l.prefixTime[i] + r.Time
@@ -197,6 +227,71 @@ func (l *List) SearchValue(v float64) int {
 	l.rebuild()
 	// sort.Search finds the first index with value >= v.
 	i := sort.Search(len(l.sorted), func(i int) bool { return l.sorted[i].Value >= v })
+	return i - 1
+}
+
+// View is a read-only snapshot of the sorted record list: the sorted records
+// and the prefix-sum slices, exposed directly so that tight partition sweeps
+// pay no per-access dirty check or range validation. A View is valid until
+// the next Add on its List; the slices are owned by the List and must not be
+// modified. Unlike the List accessors, View methods do not re-validate
+// ranges — callers index within [0, Len()).
+type View struct {
+	Sorted       []Record
+	PrefixSig    []float64
+	PrefixValSig []float64
+	PrefixTime   []float64
+	PrefixValT   []float64
+}
+
+// View rebuilds the sorted view if needed and returns a snapshot of it.
+func (l *List) View() View {
+	l.rebuild()
+	return View{
+		Sorted:       l.sorted,
+		PrefixSig:    l.prefixSig,
+		PrefixValSig: l.prefixValSig,
+		PrefixTime:   l.prefixTime,
+		PrefixValT:   l.prefixValT,
+	}
+}
+
+// Len returns the number of records in the snapshot.
+func (v View) Len() int { return len(v.Sorted) }
+
+// Value returns the value of the i-th record in sorted order.
+func (v View) Value(i int) float64 { return v.Sorted[i].Value }
+
+// MaxValue returns the largest value in the snapshot, or 0 when empty.
+func (v View) MaxValue() float64 {
+	if len(v.Sorted) == 0 {
+		return 0
+	}
+	return v.Sorted[len(v.Sorted)-1].Value
+}
+
+// TotalSig returns the total significance of all records.
+func (v View) TotalSig() float64 { return v.PrefixSig[len(v.Sorted)] }
+
+// SigSum returns the total significance of sorted records in [lo, hi]
+// (inclusive indices).
+func (v View) SigSum(lo, hi int) float64 { return v.PrefixSig[hi+1] - v.PrefixSig[lo] }
+
+// WeightedMean returns the significance-weighted mean value of sorted
+// records in [lo, hi] (inclusive), or 0 for a zero-significance range —
+// bit-identical to List.WeightedMean.
+func (v View) WeightedMean(lo, hi int) float64 {
+	sig := v.PrefixSig[hi+1] - v.PrefixSig[lo]
+	if sig == 0 {
+		return 0
+	}
+	return (v.PrefixValSig[hi+1] - v.PrefixValSig[lo]) / sig
+}
+
+// SearchValue returns the index of the last record whose value is strictly
+// less than x, or -1 when no record is below x.
+func (v View) SearchValue(x float64) int {
+	i := sort.Search(len(v.Sorted), func(i int) bool { return v.Sorted[i].Value >= x })
 	return i - 1
 }
 
