@@ -1,9 +1,10 @@
 GO ?= go
 
-# The dispatch-heavy simulator scenarios plus the harness grid benchmark;
-# both feed the BENCH_sim.json trajectory.
-BENCH_PKGS = ./internal/sim ./internal/harness
-BENCH_PATTERN = 'BenchmarkSim|BenchmarkRunGrid'
+# The dispatch-heavy simulator scenarios, the event-engine micro-benchmarks
+# under them, and the harness grid benchmark; all feed the BENCH_sim.json
+# trajectory.
+BENCH_PKGS = ./internal/sim ./internal/devent ./internal/harness
+BENCH_PATTERN = 'BenchmarkSim|BenchmarkDevent|BenchmarkRunGrid'
 
 # The bucketing-core and allocator hot-path scenarios, plus the end-to-end
 # paper-pool simulation they dominate; these feed BENCH_alloc.json.
@@ -21,9 +22,11 @@ test:
 	$(GO) test ./... -count=1
 
 # The parallel experiment harness is the concurrency-heavy package; run it
-# (and the public facade that drives it) under the race detector.
+# (and the public facade that drives it) under the race detector, together
+# with the pooled event engine and the simulator that recycles its
+# slots/handles (harness workers run simulations concurrently).
 race:
-	$(GO) test -race ./internal/harness/... . -count=1
+	$(GO) test -race ./internal/harness/... ./internal/devent/... ./internal/sim/... . -count=1
 
 # The live work-queue engine integration tests (heartbeat loss, bounded
 # retry, drain-under-load, ID-collision regressions) under the race detector.

@@ -58,9 +58,17 @@ func TestCancel(t *testing.T) {
 	var e Engine
 	fired := false
 	ev := e.At(1, func() { fired = true })
-	ev.Cancel()
-	if !ev.Cancelled() {
-		t.Error("Cancelled() should be true")
+	if !e.Cancel(ev) {
+		t.Error("Cancel on a live event should report true")
+	}
+	if e.Live(ev) {
+		t.Error("Live should be false after Cancel")
+	}
+	if e.Cancel(ev) {
+		t.Error("second Cancel should be a no-op")
+	}
+	if e.Cancels() != 1 {
+		t.Errorf("Cancels = %d, want 1", e.Cancels())
 	}
 	e.Run()
 	if fired {
@@ -76,7 +84,7 @@ func TestCancelInterleaved(t *testing.T) {
 	c := e.At(3, func() { fired = append(fired, "c") })
 	_ = a
 	// Cancel c from within b.
-	e.At(2.5, func() { c.Cancel() })
+	e.At(2.5, func() { e.Cancel(c) })
 	e.Run()
 	want := []string{"a", "b"}
 	if len(fired) != len(want) {
@@ -123,6 +131,155 @@ func TestStepOnEmptyQueue(t *testing.T) {
 	var e Engine
 	if e.Step() {
 		t.Error("Step on empty queue should return false")
+	}
+}
+
+// Pending must report the live event count: a cancelled event leaves the
+// queue immediately instead of lingering as a tombstone (the previous
+// engine counted cancelled-but-unreaped events).
+func TestPendingExcludesCancelled(t *testing.T) {
+	var e Engine
+	h1 := e.At(1, func() {})
+	e.At(2, func() {})
+	e.At(3, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	e.Cancel(h1)
+	if e.Pending() != 2 {
+		t.Errorf("Pending after cancel = %d, want 2 (live events only)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+// Typed events must deliver their kind and full payload through the single
+// owner handler, in (time, seq) order.
+func TestTypedEventsDeliverPayload(t *testing.T) {
+	var e Engine
+	type delivery struct {
+		kind Kind
+		p    Payload
+	}
+	var got []delivery
+	e.SetHandler(func(kind Kind, p Payload) { got = append(got, delivery{kind, p}) })
+	e.Schedule(2, 7, Payload{A: 1, B: 2, F: 3.5, Flag: true})
+	e.Schedule(1, 9, Payload{A: -4})
+	e.Run()
+	want := []delivery{
+		{9, Payload{A: -4}},
+		{7, Payload{A: 1, B: 2, F: 3.5, Flag: true}},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("deliveries = %+v, want %+v", got, want)
+	}
+}
+
+func TestScheduleWithoutHandlerPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule without SetHandler should panic")
+		}
+	}()
+	e.Schedule(1, 0, Payload{})
+}
+
+// Preload must fire its batch exactly as if each entry had been scheduled
+// individually: time order, with slice order breaking same-instant ties,
+// and events pushed afterwards sequence after the batch.
+func TestPreloadFiresInScheduleOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	e.SetHandler(func(_ Kind, p Payload) { got = append(got, p.A) })
+	e.Preload([]Scheduled{
+		{At: 3, P: Payload{A: 0}},
+		{At: 1, P: Payload{A: 1}},
+		{At: 1, P: Payload{A: 2}}, // same instant: must follow A=1
+		{At: 2, P: Payload{A: 3}},
+		{At: 0, P: Payload{A: 4}},
+	})
+	e.Schedule(1, 0, Payload{A: 5}) // later seq: fires after both t=1 batch entries
+	e.Run()
+	want := []int{4, 1, 2, 5, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPreloadOnNonEmptyQueuePanics(t *testing.T) {
+	var e Engine
+	e.SetHandler(func(Kind, Payload) {})
+	e.Schedule(1, 0, Payload{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Preload on a non-empty queue should panic")
+		}
+	}()
+	e.Preload([]Scheduled{{At: 2}})
+}
+
+// TestStaleHandleCannotCancelRecycledSlot is the generation-counter
+// regression: after an event fires (or is cancelled) its slot returns to
+// the pool and may be handed to a new event. Cancelling through the old
+// handle must not touch the new occupant.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	var e Engine
+	first := e.At(1, func() {})
+	e.Run() // fires; slot 0 is recycled
+	secondFired := false
+	second := e.At(2, func() { secondFired = true })
+	if second.slot != first.slot {
+		t.Fatalf("test premise broken: slot not recycled (first %d, second %d)", first.slot, second.slot)
+	}
+	if e.Cancel(first) {
+		t.Error("stale handle cancelled the slot's new occupant")
+	}
+	if !e.Live(second) {
+		t.Error("new occupant no longer live after stale Cancel")
+	}
+	e.Run()
+	if !secondFired {
+		t.Error("new occupant never fired")
+	}
+
+	// Same via the cancellation path: a handle whose event was *cancelled*
+	// (not fired) must also go stale once the slot is reused.
+	third := e.At(3, func() {})
+	e.Cancel(third)
+	fourthFired := false
+	fourth := e.At(4, func() { fourthFired = true })
+	if fourth.slot != third.slot {
+		t.Fatalf("test premise broken: slot not recycled (third %d, fourth %d)", third.slot, fourth.slot)
+	}
+	if e.Cancel(third) {
+		t.Error("stale handle (cancelled origin) cancelled the new occupant")
+	}
+	e.Run()
+	if !fourthFired {
+		t.Error("new occupant never fired after stale Cancel attempt")
+	}
+}
+
+func TestTimeOf(t *testing.T) {
+	var e Engine
+	h := e.At(4.5, func() {})
+	if at, ok := e.TimeOf(h); !ok || at != 4.5 {
+		t.Errorf("TimeOf = (%v, %v), want (4.5, true)", at, ok)
+	}
+	e.Run()
+	if _, ok := e.TimeOf(h); ok {
+		t.Error("TimeOf on a fired handle should report ok=false")
+	}
+	if _, ok := e.TimeOf(Handle{}); ok {
+		t.Error("TimeOf on the zero Handle should report ok=false")
 	}
 }
 

@@ -24,12 +24,13 @@ func TestEvictionRequeueAscendingBlock(t *testing.T) {
 	w := newSimWorker(0, resources.PaperWorker())
 	for _, idx := range []int{9, 3, 5} { // deliberately unsorted
 		s.tasks[idx].hasAlloc = true
-		w.running[idx] = &runningTask{idx: idx, endEv: s.engine.After(100, func() {})}
+		w.running[idx] = runningTask{endEv: s.engine.After(100, func() {})}
 	}
 	s.workers = []*simWorker{w}
+	s.byID = []*simWorker{w}
 	s.ready.PushBack(11) // already waiting before the eviction
 
-	s.onEviction(w)
+	s.onEviction(w.id)
 
 	if s.err != nil {
 		t.Fatal(s.err)

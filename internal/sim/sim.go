@@ -105,10 +105,24 @@ type simTask struct {
 	done     bool
 }
 
+// Simulator event kinds for the typed devent path. Payload layout per kind:
+// evArrival carries the arrival index in A; evEviction the worker id in A;
+// evTaskEnd the worker id in A, the task index in B, and the attempt
+// duration in F; evDispatch carries nothing.
+const (
+	evDispatch devent.Kind = iota
+	evArrival
+	evEviction
+	evTaskEnd
+)
+
+// runningTask is a value (stored by value in simWorker.running): the typed
+// event path addresses attempts by (worker id, task index), so nothing
+// needs a stable pointer and placing a task allocates nothing.
 type runningTask struct {
-	idx   int
-	start float64
-	endEv *devent.Event
+	start    float64
+	exceeded []resources.Kind
+	endEv    devent.Handle
 }
 
 type simWorker struct {
@@ -119,7 +133,7 @@ type simWorker struct {
 	// slack product per kind on every fits probe.
 	limit   resources.Vector
 	used    resources.Vector
-	running map[int]*runningTask
+	running map[int]runningTask
 	alive   bool
 }
 
@@ -129,7 +143,7 @@ func newSimWorker(id int, shape resources.Vector) *simWorker {
 	w := &simWorker{
 		id:       id,
 		capacity: shape,
-		running:  make(map[int]*runningTask),
+		running:  make(map[int]runningTask),
 		alive:    true,
 	}
 	for k := range shape {
@@ -149,14 +163,18 @@ func (w *simWorker) fits(alloc resources.Vector) bool {
 }
 
 type simulator struct {
-	cfg    Config
-	engine devent.Engine
-	tasks  []simTask
-	ready  taskQueue // task indices awaiting placement, in dispatch priority order
+	cfg      Config
+	engine   devent.Engine
+	tasks    []simTask
+	arrivals []opportunistic.Arrival // pool schedule, indexed by worker id
+	ready    taskQueue               // task indices awaiting placement, in dispatch priority order
 	// workers holds only alive workers, in arrival (ascending-ID) order:
 	// eviction removes a worker from the scan set instead of leaving a
 	// tombstone, so placement never iterates the dead.
 	workers []*simWorker
+	// byID resolves the worker id carried in event payloads; evicted slots
+	// are nilled so the worker can be collected.
+	byID    []*simWorker
 	victims []int // eviction scratch, reused across onEviction calls
 
 	released          int // tasks [0, released) may start (barrier gating)
@@ -204,12 +222,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(arrivals) == 0 {
 		return nil, fmt.Errorf("sim: pool model %s provided no workers", cfg.Pool.Name())
 	}
+	s.arrivals = arrivals
+	s.byID = make([]*simWorker, len(arrivals))
 	s.futureArrivals = len(arrivals)
+	s.engine.SetHandler(s.handleEvent)
+	// Bulk-load the whole arrival schedule: one O(n) heapify instead of n
+	// heap pushes, and no per-arrival closure.
+	pre := make([]devent.Scheduled, len(arrivals))
 	for i, a := range arrivals {
-		a := a
-		id := i
-		s.engine.At(a.At, func() { s.onArrival(id, a) })
+		pre[i] = devent.Scheduled{At: a.At, Kind: evArrival, P: devent.Payload{A: i}}
 	}
+	s.engine.Preload(pre)
 
 	s.released = len(s.tasks)
 	if len(cfg.Workflow.Barriers) > 0 {
@@ -218,7 +241,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	for i := 0; i < s.released; i++ {
 		s.ready.PushBack(i)
 	}
-	s.engine.At(0, s.dispatch)
+	s.engine.Schedule(0, evDispatch, devent.Payload{})
 	for steps := 0; ; steps++ {
 		if steps%ctxCheckInterval == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("%w at virtual time %.1fs: %w", ErrCanceled, s.engine.Now(), ctx.Err())
@@ -254,27 +277,48 @@ func (s *simulator) fail(err error) {
 	}
 }
 
-func (s *simulator) onArrival(id int, a opportunistic.Arrival) {
+// handleEvent is the single devent owner callback: every typed event is
+// decoded here and routed to its handler, replacing the per-event closures
+// the engine used to capture.
+func (s *simulator) handleEvent(kind devent.Kind, p devent.Payload) {
+	switch kind {
+	case evTaskEnd:
+		s.onTaskEnd(p.A, p.B, p.F)
+	case evDispatch:
+		s.dispatch()
+	case evArrival:
+		s.onArrival(p.A)
+	case evEviction:
+		s.onEviction(p.A)
+	default:
+		s.fail(fmt.Errorf("sim: unknown event kind %d", kind))
+	}
+}
+
+func (s *simulator) onArrival(id int) {
 	if s.err != nil {
 		return
 	}
 	w := newSimWorker(id, s.cfg.WorkerShape)
 	s.workers = append(s.workers, w)
+	s.byID[id] = w
 	s.futureArrivals--
 	if len(s.workers) > s.peakWorkers {
 		s.peakWorkers = len(s.workers)
 	}
-	if a.Lifetime > 0 {
-		s.engine.After(a.Lifetime, func() { s.onEviction(w) })
+	if lt := s.arrivals[id].Lifetime; lt > 0 {
+		s.engine.ScheduleAfter(lt, evEviction, devent.Payload{A: id})
 	}
 	s.dispatch()
 }
 
-func (s *simulator) onEviction(w *simWorker) {
-	if s.err != nil || !w.alive {
+func (s *simulator) onEviction(id int) {
+	w := s.byID[id]
+	if s.err != nil || w == nil || !w.alive {
 		return
 	}
 	w.alive = false
+	s.byID[id] = nil
 	// Remove the worker from the alive index: the scan set shrinks instead
 	// of accumulating tombstones that every placement probe would skip.
 	for i, x := range s.workers {
@@ -297,7 +341,7 @@ func (s *simulator) onEviction(w *simWorker) {
 	sort.Ints(victims)
 	for _, idx := range victims {
 		rt := w.running[idx]
-		rt.endEv.Cancel()
+		s.engine.Cancel(rt.endEv)
 		st := &s.tasks[idx]
 		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
 			Alloc:    st.alloc,
@@ -311,7 +355,7 @@ func (s *simulator) onEviction(w *simWorker) {
 	// order the live wq engine uses.
 	s.ready.PushFrontAll(victims)
 	s.victims = victims
-	w.running = make(map[int]*runningTask)
+	w.running = nil // the worker is dead; release its attempt map
 	w.used = resources.Vector{}
 	s.dispatch()
 }
@@ -402,17 +446,23 @@ func (s *simulator) place(w *simWorker, idx int) {
 		// payload starts; the transfer time extends the attempt.
 		duration += s.cfg.Data.Stage(w.id, st.task.ID)
 	}
-	rt := &runningTask{idx: idx, start: now}
-	rt.endEv = s.engine.After(duration, func() { s.onTaskEnd(w, rt, duration, exceeded) })
-	w.running[idx] = rt
+	w.running[idx] = runningTask{
+		start:    now,
+		exceeded: exceeded,
+		endEv: s.engine.ScheduleAfter(duration, evTaskEnd,
+			devent.Payload{A: w.id, B: idx, F: duration}),
+	}
 }
 
-func (s *simulator) onTaskEnd(w *simWorker, rt *runningTask, duration float64, exceeded []resources.Kind) {
+func (s *simulator) onTaskEnd(workerID, idx int, duration float64) {
 	if s.err != nil {
 		return
 	}
-	idx := rt.idx
+	// The end event is cancelled on eviction, so the worker is always alive
+	// (and registered) when it fires.
+	w := s.byID[workerID]
 	st := &s.tasks[idx]
+	exceeded := w.running[idx].exceeded
 	delete(w.running, idx)
 	w.used = w.used.Sub(st.alloc.With(resources.Time, 0))
 	// Guard against float drift accumulating below zero.
