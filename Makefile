@@ -11,7 +11,18 @@ BENCH_PATTERN = 'BenchmarkSim|BenchmarkDevent|BenchmarkRunGrid'
 BENCH_ALLOC_PKGS = ./internal/core ./internal/allocator ./internal/sim
 BENCH_ALLOC_PATTERN = 'BenchmarkCore|BenchmarkAlloc|BenchmarkSimPaperPool1k'
 
-.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke short ci clean
+# The streaming macro-scenarios: million-task Source-driven runs and the
+# capacity-index placement probes. Merged into BENCH_sim.json rather than
+# rewriting it, since the full Stream1M run takes about a minute.
+BENCH_STREAM_PKGS = ./internal/sim
+BENCH_STREAM_PATTERN = 'BenchmarkStream|BenchmarkPlacementIndex'
+# Ceiling for the streaming smoke run: BenchmarkStream100k measures ~140k
+# allocs for a 100k-task run (setup plus ~0.4 allocs/task of retry and map
+# traffic); anything past this means the engine regressed to per-task
+# allocation.
+STREAM_MAX_ALLOCS = 200000
+
+.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke bench-stream bench-stream-smoke short ci clean
 
 all: build
 
@@ -60,7 +71,19 @@ bench-alloc:
 bench-alloc-smoke:
 	$(GO) test $(BENCH_ALLOC_PKGS) -run '^$$' -bench $(BENCH_ALLOC_PATTERN) -benchmem -benchtime 1x | $(GO) run ./cmd/benchfmt -out BENCH_alloc.json
 
-ci: vet build test race test-live bench-smoke bench-alloc-smoke
+# Full streaming run: the 1M-task and 100k-task Source-driven scenarios plus
+# the 100k-worker placement-index probes, merged into BENCH_sim.json.
+bench-stream:
+	$(GO) test $(BENCH_STREAM_PKGS) -run '^$$' -bench $(BENCH_STREAM_PATTERN) -benchmem | $(GO) run ./cmd/benchfmt -merge -out BENCH_sim.json
+
+# ci smoke of the streaming path: the 100k-task scenario and the index
+# probes, with the allocs/op ceiling enforced so the window-bounded memory
+# contract cannot regress silently. (The capacity index's query correctness
+# runs under -race via the sim package in the race target.)
+bench-stream-smoke:
+	$(GO) test $(BENCH_STREAM_PKGS) -run '^$$' -bench 'BenchmarkStream100k|BenchmarkPlacementIndex' -benchmem -benchtime 1x | $(GO) run ./cmd/benchfmt -merge -max-allocs $(STREAM_MAX_ALLOCS) -out BENCH_sim.json
+
+ci: vet build test race test-live bench-smoke bench-alloc-smoke bench-stream-smoke
 
 clean:
 	rm -rf figures-out

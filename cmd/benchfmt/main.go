@@ -9,6 +9,12 @@
 // plus any custom metrics (e.g. mem-AWE%) keyed by their unit. The exit
 // status is non-zero when no benchmark lines were seen, so a CI smoke run
 // fails loudly if the bench suite bit-rots.
+//
+// With -merge, entries parsed now replace same-named entries in an existing
+// -out document and the rest are kept, so several bench suites can feed one
+// trajectory file. With -max-allocs N, the run fails when any benchmark it
+// parsed reports more than N allocs/op — a CI regression gate for paths
+// that must stay allocation-bounded.
 package main
 
 import (
@@ -46,6 +52,8 @@ type Document struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON path (required)")
+	merge := flag.Bool("merge", false, "fold into an existing -out document: entries parsed now replace same-named ones, the rest are kept")
+	maxAllocs := flag.Float64("max-allocs", -1, "fail when any benchmark parsed from stdin exceeds this allocs/op (-1 disables)")
 	flag.Parse()
 	if *out == "" {
 		// Required rather than defaulted: two bench suites feed two different
@@ -82,6 +90,19 @@ func main() {
 	}
 	if len(doc.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+	// The ceiling judges only what this run measured — merged-in history has
+	// already passed (or predates) its own gate.
+	if *maxAllocs >= 0 {
+		for _, e := range doc.Benchmarks {
+			if e.AllocsPerOp != nil && *e.AllocsPerOp > *maxAllocs {
+				fatal(fmt.Errorf("%s allocates %.0f/op, over the -max-allocs ceiling %.0f",
+					e.Name, *e.AllocsPerOp, *maxAllocs))
+			}
+		}
+	}
+	if *merge {
+		doc.Benchmarks = mergeEntries(*out, doc.Benchmarks)
 	}
 
 	f, err := os.Create(*out)
@@ -141,6 +162,45 @@ func parseLine(line string) (Entry, bool) {
 		}
 	}
 	return e, true
+}
+
+// mergeEntries folds fresh results into the document already at path: a
+// fresh entry replaces the existing entry of the same name in place (so two
+// bench suites feeding one trajectory file don't clobber each other), other
+// existing entries keep their position, and entries new to the file append.
+// A missing file is an ordinary first run.
+func mergeEntries(path string, fresh []Entry) []Entry {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fresh
+		}
+		fatal(err)
+	}
+	var prev Document
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fatal(fmt.Errorf("merging into %s: %w", path, err))
+	}
+	replace := make(map[string]int, len(fresh))
+	for i, e := range fresh {
+		replace[e.Name] = i
+	}
+	out := make([]Entry, 0, len(prev.Benchmarks)+len(fresh))
+	taken := make(map[string]bool, len(fresh))
+	for _, e := range prev.Benchmarks {
+		if i, ok := replace[e.Name]; ok && !taken[e.Name] {
+			out = append(out, fresh[i])
+			taken[e.Name] = true
+		} else if !ok {
+			out = append(out, e)
+		}
+	}
+	for _, e := range fresh {
+		if !taken[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

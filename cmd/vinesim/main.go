@@ -7,6 +7,7 @@
 //	vinesim -workflow topeft -algorithm exhaustive-bucketing
 //	vinesim -workflow normal -tasks 5000 -algorithm max-seen -des -pool backfill:20:50:120
 //	vinesim -workflow-file trace.json -algorithm greedy-bucketing -json
+//	vinesim -workflow uniform -tasks 1000000 -des -stream -window 16384 -algorithm max-seen
 //
 // A comma-separated -algorithm list compares algorithms on the same
 // workload side by side, fanned across -j worker goroutines; Ctrl-C
@@ -55,6 +56,8 @@ func main() {
 		logPath  = flag.String("log", "", "write a replayable run log (JSON lines) to this file")
 		place    = flag.String("placement", sim.FirstFit.String(), "worker placement for -des: first-fit, worst-fit, best-fit, locality")
 		withData = flag.Bool("data", false, "enable the TaskVine-style data layer (file staging and caches) for -des")
+		stream   = flag.Bool("stream", false, "generate tasks lazily and fold outcomes as they finish (constant memory; -des only)")
+		window   = flag.Int("window", 0, "with -stream, cap tasks in flight beyond the completed count (0 = workload default)")
 		jobs     = flag.Int("j", 0, "concurrent simulations when comparing algorithms (0 = GOMAXPROCS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -79,8 +82,34 @@ func main() {
 		return
 	}
 
-	w, err := loadWorkflow(*wfFile, *wfName, *tasks, *seed)
-	fatalIf(err)
+	var (
+		w       *workflow.Workflow
+		src     workflow.Source
+		wfLabel string
+	)
+	if *stream {
+		// Streaming keeps only the in-flight window of tasks alive, so every
+		// feature that needs the full task list up front is rejected rather
+		// than silently materializing a million-task slice.
+		if !*useDES {
+			fatalIf(fmt.Errorf("-stream requires -des"))
+		}
+		if *wfFile != "" || *oracle || *logPath != "" || *withData {
+			fatalIf(fmt.Errorf("-stream generates tasks lazily; -workflow-file, -oracle, -log and -data need the materialized task list"))
+		}
+		s, err := workflow.SourceByName(*wfName, *tasks, *seed)
+		fatalIf(err)
+		if *window > 0 {
+			s = workflow.WithSubmitWindow(s, *window)
+		}
+		src = s
+		wfLabel = s.Name()
+	} else {
+		var err error
+		w, err = loadWorkflow(*wfFile, *wfName, *tasks, *seed)
+		fatalIf(err)
+		wfLabel = w.Name
+	}
 
 	var policy allocator.Policy
 	if *oracle {
@@ -104,8 +133,9 @@ func main() {
 			vine.Attach(layer, w, *seed)
 		}
 		res, err = sim.RunContext(ctx, sim.Config{
-			Workflow: w, Policy: policy, Pool: pool, PoolSeed: *seed, Model: cm,
+			Workflow: w, Source: src, Policy: policy, Pool: pool, PoolSeed: *seed, Model: cm,
 			Place: placement, Data: layer,
+			DiscardOutcomes: *stream,
 		})
 		fatalIf(err)
 	} else {
@@ -117,7 +147,7 @@ func main() {
 		f, err := os.Create(*logPath)
 		fatalIf(err)
 		fatalIf(runlog.Write(f, runlog.Header{
-			Workload:  w.Name,
+			Workload:  wfLabel,
 			Algorithm: policy.Name(),
 			Seed:      *seed,
 		}, res))
@@ -133,9 +163,13 @@ func main() {
 	}
 	s := res.Summary()
 	fmt.Printf("workload=%s algorithm=%s tasks=%d attempts=%d retries=%d evictions=%d\n",
-		w.Name, policy.Name(), s.Tasks, s.Attempts, s.Retries, s.Evictions)
+		wfLabel, policy.Name(), s.Tasks, s.Attempts, s.Retries, s.Evictions)
 	if *useDES {
-		fmt.Printf("makespan=%.1fs peak-workers=%d\n", res.Makespan, res.PeakWorkers)
+		fmt.Printf("makespan=%.1fs peak-workers=%d", res.Makespan, res.PeakWorkers)
+		if *stream {
+			fmt.Printf(" peak-window=%d", res.PeakWindow)
+		}
+		fmt.Println()
 	}
 	tab := report.New("", "resource", "AWE", "consumption", "allocation", "internal_frag", "failed_alloc")
 	for _, ks := range s.PerKind {

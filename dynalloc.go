@@ -79,6 +79,9 @@ type (
 	Workflow = workflow.Workflow
 	// Task is one unit of work with its hidden consumption 4-tuple.
 	Task = workflow.Task
+	// Source streams a workload's tasks lazily; a *Workflow is one concrete
+	// Source (via its Stream method), and the named generators are another.
+	Source = workflow.Source
 )
 
 // WorkflowNames returns the seven evaluation workload names.
@@ -86,8 +89,29 @@ func WorkflowNames() []string { return workflow.Names() }
 
 // GenerateWorkflow builds any of the seven evaluation workloads; n scales
 // the synthetic families (0 = the paper's 1000 tasks).
+//
+// The returned slice-backed Workflow holds every task in memory, which the
+// perturbation, oracle, and data layers need. For workloads too large for
+// that — million-task runs — prefer GenerateWorkflowSource and drive the
+// simulation through SimConfig.Source.
 func GenerateWorkflow(name string, n int, seed uint64) (*Workflow, error) {
 	return workflow.ByName(name, n, seed)
+}
+
+// GenerateWorkflowSource returns the same task stream GenerateWorkflow
+// materializes, as a lazy Source: tasks are sampled on demand, so a
+// million-task run never holds more than the in-flight window. Set it as
+// SimConfig.Source (instead of SimConfig.Workflow) and pair it with
+// OnOutcome or DiscardOutcomes to keep the whole run's footprint bounded.
+func GenerateWorkflowSource(name string, n int, seed uint64) (Source, error) {
+	return workflow.SourceByName(name, n, seed)
+}
+
+// WithSubmitWindow caps how many tasks beyond the completed count a Source
+// releases to the simulator — the knob that bounds a streaming run's
+// working set (0 removes the workload's own cap).
+func WithSubmitWindow(src Source, window int) Source {
+	return workflow.WithSubmitWindow(src, window)
 }
 
 // Simulation.
@@ -104,7 +128,20 @@ type (
 	Summary = metrics.Summary
 	// TaskOutcome is one task's attempts, waste, and consumption.
 	TaskOutcome = metrics.TaskOutcome
+	// CategoryMetrics accumulates per-category statistics from streamed
+	// outcomes: exact running aggregates plus bounded reservoir samples of
+	// memory peaks and runtimes. Pass one as SimConfig.Categories.
+	CategoryMetrics = metrics.ByCategory
+	// Reservoir is a fixed-capacity uniform sample over an unbounded stream.
+	Reservoir = metrics.Reservoir
 )
+
+// NewCategoryMetrics builds a per-category streaming accumulator whose
+// reservoirs hold at most reservoirCap samples each (0 disables sampling);
+// seed fixes the sampling decisions.
+func NewCategoryMetrics(reservoirCap int, seed uint64) *CategoryMetrics {
+	return metrics.NewByCategory(reservoirCap, seed)
+}
 
 // Consumption models.
 const (
@@ -123,6 +160,9 @@ var (
 	// ErrUnknownWorkflow reports a workload name that matches no evaluation
 	// workload.
 	ErrUnknownWorkflow = workflow.ErrUnknownWorkflow
+	// ErrUnknownPlacement reports a placement-policy name that matches no
+	// known policy.
+	ErrUnknownPlacement = sim.ErrUnknownPlacement
 	// ErrCanceled reports a simulation or experiment sweep aborted by its
 	// context; the context's own error is wrapped alongside it.
 	ErrCanceled = sim.ErrCanceled
@@ -130,6 +170,13 @@ var (
 
 // Simulate runs the discrete-event simulation: dispatch, placement,
 // enforcement, retries, and opportunistic worker churn.
+//
+// The workload comes from exactly one of SimConfig.Workflow (a materialized
+// task slice) or SimConfig.Source (a lazy stream). With a Source, set
+// OnOutcome to receive each task's outcome as it finishes — or
+// DiscardOutcomes to fold results into the accumulator only — and
+// Result.Outcomes stays nil, so memory tracks the submit window rather
+// than the task count.
 func Simulate(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
 
 // SimulateContext is Simulate under a context: the event loop checks ctx

@@ -230,3 +230,65 @@ func TestPublicAPISentinelErrors(t *testing.T) {
 		t.Errorf("ReproduceGridContext err = %v, want ErrCanceled", err)
 	}
 }
+
+// TestPublicAPIStreaming drives the facade's lazy-workload path end to end:
+// a Source with a submit window, per-outcome streaming instead of a retained
+// slice, and per-category reservoir metrics — the million-task API at a
+// test-sized scale.
+func TestPublicAPIStreaming(t *testing.T) {
+	alloc := func() dynalloc.Policy {
+		a, err := dynalloc.NewAllocator(dynalloc.MaxSeen, dynalloc.AllocatorConfig{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	w, err := dynalloc.GenerateWorkflow("bimodal", 300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained, err := dynalloc.Simulate(dynalloc.SimConfig{
+		Workflow: w, Policy: alloc(), Pool: dynalloc.StaticPool(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := dynalloc.GenerateWorkflowSource("bimodal", 300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := dynalloc.NewCategoryMetrics(32, 4)
+	streamed := 0
+	res, err := dynalloc.Simulate(dynalloc.SimConfig{
+		Source:     dynalloc.WithSubmitWindow(src, 64),
+		Policy:     alloc(),
+		Pool:       dynalloc.StaticPool(6),
+		Categories: cats,
+		OnOutcome:  func(o *dynalloc.TaskOutcome) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes != nil {
+		t.Error("streaming run retained outcomes")
+	}
+	if streamed != 300 || res.Acc.Tasks() != 300 {
+		t.Errorf("streamed %d outcomes, accumulated %d", streamed, res.Acc.Tasks())
+	}
+	if res.PeakWindow == 0 || res.PeakWindow >= 300 {
+		t.Errorf("peak window = %d, want windowed (0, 300)", res.PeakWindow)
+	}
+	if got := cats.Categories(); len(got) != 1 || got[0] != "bimodal" || cats.Tasks() != 300 {
+		t.Errorf("category metrics = %v (%d tasks)", cats.Categories(), cats.Tasks())
+	}
+	// The submit window reorders nothing on a static pool: aggregates match
+	// the retained run exactly.
+	if res.Acc != retained.Acc {
+		t.Errorf("streaming aggregates diverged:\n%+v\nvs\n%+v", res.Summary(), retained.Summary())
+	}
+
+	if _, err := dynalloc.GenerateWorkflowSource("bogus", 10, 1); !errors.Is(err, dynalloc.ErrUnknownWorkflow) {
+		t.Errorf("GenerateWorkflowSource err = %v, want ErrUnknownWorkflow", err)
+	}
+}

@@ -2,11 +2,11 @@ package allocator
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 
 	"dynalloc/internal/core"
 	"dynalloc/internal/dist"
+	"dynalloc/internal/names"
 	"dynalloc/internal/record"
 	"dynalloc/internal/resources"
 	"math/rand/v2"
@@ -42,15 +42,12 @@ func PredictiveNames() []Name {
 // match any known algorithm. Match it with errors.Is.
 var ErrUnknownAlgorithm = errors.New("allocator: unknown algorithm")
 
-// ParseName validates an algorithm name string. Both the paper's seven
-// algorithms and the extensions are accepted.
+// ParseName validates an algorithm name string, following the shared
+// Names()/Parse() registry contract: the error wraps ErrUnknownAlgorithm
+// and lists the valid names. Both the paper's seven algorithms and the
+// extensions are accepted.
 func ParseName(s string) (Name, error) {
-	for _, n := range ExtendedNames() {
-		if string(n) == s {
-			return n, nil
-		}
-	}
-	return "", fmt.Errorf("%w %q", ErrUnknownAlgorithm, s)
+	return names.Parse(s, ExtendedNames(), func(n Name) string { return string(n) }, ErrUnknownAlgorithm)
 }
 
 // Policy is the contract between the task scheduler and a resource

@@ -1,0 +1,35 @@
+// Package names implements the registry contract shared by every
+// name-indexed extension point in the repository — evaluation workloads,
+// allocation algorithms, placement policies, consumption models. Each
+// domain keeps a Names() function listing its entries in presentation
+// order and a Parse() built on this package, so every unknown-name error
+// wraps the domain's sentinel (matchable with errors.Is) and names the
+// valid entries, which is what the cmd flag parsers surface to users.
+package names
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse resolves input against the registry entries, rendering each entry
+// with str. On a miss it returns the zero T and an error wrapping sentinel
+// that lists every valid entry.
+func Parse[T any](input string, all []T, str func(T) string, sentinel error) (T, error) {
+	for _, v := range all {
+		if str(v) == input {
+			return v, nil
+		}
+	}
+	var zero T
+	return zero, fmt.Errorf("%w %q (valid: %s)", sentinel, input, strings.Join(List(all, str), ", "))
+}
+
+// List renders the registry entries in order.
+func List[T any](all []T, str func(T) string) []string {
+	out := make([]string, len(all))
+	for i, v := range all {
+		out[i] = str(v)
+	}
+	return out
+}

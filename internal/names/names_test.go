@@ -1,0 +1,46 @@
+package names
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseMatches(t *testing.T) {
+	sentinel := errors.New("unknown color")
+	all := []string{"red", "green", "blue"}
+	ident := func(s string) string { return s }
+	for _, want := range all {
+		got, err := Parse(want, all, ident, sentinel)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %q, %v", want, got, err)
+		}
+	}
+}
+
+func TestParseMissWrapsSentinelAndListsNames(t *testing.T) {
+	sentinel := errors.New("unknown color")
+	all := []string{"red", "green", "blue"}
+	_, err := Parse("mauve", all, func(s string) string { return s }, sentinel)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not wrap the sentinel", err)
+	}
+	for _, part := range []string{`"mauve"`, "red", "green", "blue"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Errorf("error %q missing %q", err, part)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	type color int
+	got := List([]color{1, 2}, func(c color) string {
+		return []string{"", "red", "green"}[c]
+	})
+	if len(got) != 2 || got[0] != "red" || got[1] != "green" {
+		t.Errorf("List = %v", got)
+	}
+}

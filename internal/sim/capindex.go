@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math"
+
+	"dynalloc/internal/resources"
+)
+
+// pruneSlack is the relative slack added to per-node headroom upper bounds.
+// A worker admits an allocation when fl(used+alloc) <= limit; rewriting that
+// as alloc <= limit-used for pruning introduces up to ~3 ulps of rounding
+// difference, so each bound carries slack of limit*pruneSlack (≈ 4.5 ulps)
+// to guarantee the index never prunes away a worker the exact comparison
+// would admit. False positives are harmless: the leaf re-checks with
+// simWorker.fits, the same comparison the linear scan used.
+const pruneSlack = 1e-15
+
+// capIndex is a segment tree over worker slots (slot = arrival index, which
+// is also arrival order since pool schedules are time-sorted and same-time
+// arrivals fire in slot order). Each node aggregates, over the alive workers
+// in its subtree:
+//
+//   - hubC/hubM/hubD: an upper bound on per-kind headroom (limit - used,
+//     plus pruneSlack), so a subtree with hub < alloc on any kind cannot
+//     contain a fitting worker and is skipped;
+//   - smax/smin: the exact max/min of the placement score (free memory,
+//     computed with the same expression the linear scan used), driving
+//     branch-and-bound for worst-fit and best-fit.
+//
+// Queries descend left-first, so ties resolve to the lowest slot — the same
+// worker the old linear scan over the arrival-ordered alive slice returned.
+// Updates on place/complete/arrive/evict are O(log W). First-fit probes are
+// O(log W) (one root-to-leaf descent with O(1) subtree rejections), and
+// worst-fit behaves the same in practice because smax steers the descent
+// straight to the maximum. Best-fit is exact branch-and-bound: smin keeps
+// pointing into subtrees of workers too full to fit, so with many near-full
+// workers it can degenerate toward the O(W) scan it replaced — but never
+// asymptotically worse, and the golden runs show typical pools prune well.
+type capIndex struct {
+	size int           // leaf count, a power of two; node k's children are 2k and 2k+1
+	ws   []*simWorker  // leaf slot -> alive worker, nil when dead or not yet arrived
+	hubC []float64     // headroom upper bound, cores
+	hubM []float64     // headroom upper bound, memory
+	hubD []float64     // headroom upper bound, disk
+	smax []float64     // max free-memory score in subtree (-Inf when empty)
+	smin []float64     // min free-memory score in subtree (+Inf when empty)
+}
+
+// newCapIndex builds an empty index with room for n worker slots.
+func newCapIndex(n int) *capIndex {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ci := &capIndex{
+		size: size,
+		ws:   make([]*simWorker, size),
+		hubC: make([]float64, 2*size),
+		hubM: make([]float64, 2*size),
+		hubD: make([]float64, 2*size),
+		smax: make([]float64, 2*size),
+		smin: make([]float64, 2*size),
+	}
+	negInf, posInf := math.Inf(-1), math.Inf(1)
+	for i := range ci.hubC {
+		ci.hubC[i], ci.hubM[i], ci.hubD[i] = -1, -1, -1
+		ci.smax[i], ci.smin[i] = negInf, posInf
+	}
+	return ci
+}
+
+// update refreshes slot after any change to the worker's used vector or
+// liveness; pass a nil or dead worker to clear the slot. Cost: O(log W).
+func (ci *capIndex) update(slot int, w *simWorker) {
+	k := ci.size + slot
+	if w == nil || !w.alive {
+		ci.ws[slot] = nil
+		ci.hubC[k], ci.hubM[k], ci.hubD[k] = -1, -1, -1
+		ci.smax[k] = math.Inf(-1)
+		ci.smin[k] = math.Inf(1)
+	} else {
+		ci.ws[slot] = w
+		ci.hubC[k] = w.limit[resources.Cores] - w.used[resources.Cores] + w.limit[resources.Cores]*pruneSlack
+		ci.hubM[k] = w.limit[resources.Memory] - w.used[resources.Memory] + w.limit[resources.Memory]*pruneSlack
+		ci.hubD[k] = w.limit[resources.Disk] - w.used[resources.Disk] + w.limit[resources.Disk]*pruneSlack
+		free := w.capacity.Get(resources.Memory) - w.used.Get(resources.Memory)
+		ci.smax[k], ci.smin[k] = free, free
+	}
+	for k >>= 1; k >= 1; k >>= 1 {
+		l, r := 2*k, 2*k+1
+		ci.hubC[k] = max(ci.hubC[l], ci.hubC[r])
+		ci.hubM[k] = max(ci.hubM[l], ci.hubM[r])
+		ci.hubD[k] = max(ci.hubD[l], ci.hubD[r])
+		ci.smax[k] = max(ci.smax[l], ci.smax[r])
+		ci.smin[k] = min(ci.smin[l], ci.smin[r])
+	}
+}
+
+// admits reports whether subtree k may contain a worker fitting alloc. Only
+// a conservative upper-bound check: a true result still needs the exact
+// leaf-level fits.
+func (ci *capIndex) admits(k int, alloc resources.Vector) bool {
+	return alloc[resources.Cores] <= ci.hubC[k] &&
+		alloc[resources.Memory] <= ci.hubM[k] &&
+		alloc[resources.Disk] <= ci.hubD[k]
+}
+
+// firstFit returns the lowest-slot alive worker that fits alloc, or nil.
+func (ci *capIndex) firstFit(alloc resources.Vector) *simWorker {
+	if !ci.admits(1, alloc) {
+		return nil
+	}
+	return ci.firstFitRec(1, alloc)
+}
+
+func (ci *capIndex) firstFitRec(k int, alloc resources.Vector) *simWorker {
+	if k >= ci.size {
+		// Leaf: decide with the exact admission comparison; the bounds may
+		// have let a near-boundary non-fit through.
+		if w := ci.ws[k-ci.size]; w != nil && w.fits(alloc) {
+			return w
+		}
+		return nil
+	}
+	if ci.admits(2*k, alloc) {
+		if w := ci.firstFitRec(2*k, alloc); w != nil {
+			return w
+		}
+	}
+	if ci.admits(2*k+1, alloc) {
+		return ci.firstFitRec(2*k+1, alloc)
+	}
+	return nil
+}
+
+// worstFit returns the fitting worker with the most free memory (ties to
+// the lowest slot), or nil.
+func (ci *capIndex) worstFit(alloc resources.Vector) *simWorker {
+	w, _ := ci.worstFitRec(1, alloc, nil, 0)
+	return w
+}
+
+func (ci *capIndex) worstFitRec(k int, alloc resources.Vector, best *simWorker, bestScore float64) (*simWorker, float64) {
+	if !ci.admits(k, alloc) {
+		return best, bestScore
+	}
+	// Strict improvement only (matching the linear scan's tie-to-earliest),
+	// so a subtree whose score maximum does not exceed the incumbent is dead.
+	if best != nil && ci.smax[k] <= bestScore {
+		return best, bestScore
+	}
+	if k >= ci.size {
+		w := ci.ws[k-ci.size]
+		if w == nil || !w.fits(alloc) {
+			return best, bestScore
+		}
+		free := w.capacity.Get(resources.Memory) - w.used.Get(resources.Memory)
+		if best == nil || free > bestScore {
+			return w, free
+		}
+		return best, bestScore
+	}
+	best, bestScore = ci.worstFitRec(2*k, alloc, best, bestScore)
+	return ci.worstFitRec(2*k+1, alloc, best, bestScore)
+}
+
+// bestFit returns the fitting worker with the least free memory (ties to
+// the lowest slot), or nil.
+func (ci *capIndex) bestFit(alloc resources.Vector) *simWorker {
+	w, _ := ci.bestFitRec(1, alloc, nil, 0)
+	return w
+}
+
+func (ci *capIndex) bestFitRec(k int, alloc resources.Vector, best *simWorker, bestScore float64) (*simWorker, float64) {
+	if !ci.admits(k, alloc) {
+		return best, bestScore
+	}
+	if best != nil && ci.smin[k] >= bestScore {
+		return best, bestScore
+	}
+	if k >= ci.size {
+		w := ci.ws[k-ci.size]
+		if w == nil || !w.fits(alloc) {
+			return best, bestScore
+		}
+		free := w.capacity.Get(resources.Memory) - w.used.Get(resources.Memory)
+		if best == nil || free < bestScore {
+			return w, free
+		}
+		return best, bestScore
+	}
+	best, bestScore = ci.bestFitRec(2*k, alloc, best, bestScore)
+	return ci.bestFitRec(2*k+1, alloc, best, bestScore)
+}

@@ -12,8 +12,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
+	"dynalloc/internal/names"
 	"dynalloc/internal/resources"
 )
 
@@ -69,14 +71,15 @@ func Models() []ConsumptionModel {
 	return []ConsumptionModel{RampEarly, RampLinear, PeakAtEnd, PeakImmediate}
 }
 
-// ParseConsumptionModel converts a model name to a ConsumptionModel.
+// ErrUnknownModel is returned (wrapped) when a consumption model name does
+// not match any model. Match it with errors.Is.
+var ErrUnknownModel = errors.New("sim: unknown consumption model")
+
+// ParseConsumptionModel converts a model name to a ConsumptionModel,
+// following the shared Names()/Parse() registry contract: the error wraps
+// ErrUnknownModel and lists the valid names.
 func ParseConsumptionModel(s string) (ConsumptionModel, error) {
-	for _, m := range Models() {
-		if m.String() == s {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("sim: unknown consumption model %q", s)
+	return names.Parse(s, Models(), ConsumptionModel.String, ErrUnknownModel)
 }
 
 // EvaluateAttempt determines how an attempt ends when a task with the given

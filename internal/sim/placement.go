@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
+	"dynalloc/internal/names"
 	"dynalloc/internal/resources"
 	"dynalloc/internal/vine"
 )
@@ -48,21 +50,26 @@ func (p Placement) String() string {
 // Placements returns all placement policies.
 func Placements() []Placement { return []Placement{FirstFit, WorstFit, BestFit, Locality} }
 
-// ParsePlacement converts a placement name to a Placement.
+// ErrUnknownPlacement is returned (wrapped) when a placement name does not
+// match any placement policy. Match it with errors.Is; it completes the
+// sentinel taxonomy alongside workflow.ErrUnknownWorkflow and
+// allocator.ErrUnknownAlgorithm.
+var ErrUnknownPlacement = errors.New("sim: unknown placement policy")
+
+// ParsePlacement converts a placement name to a Placement, following the
+// shared Names()/Parse() registry contract: the error wraps
+// ErrUnknownPlacement and lists the valid names.
 func ParsePlacement(s string) (Placement, error) {
-	for _, p := range Placements() {
-		if p.String() == s {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("sim: unknown placement policy %q", s)
+	return names.Parse(s, Placements(), Placement.String, ErrUnknownPlacement)
 }
 
-// pick returns the chosen worker among those that fit, or nil. workers is
-// the simulator's alive index — eviction removes workers from the scan set,
-// so pick never filters the dead. data and taskID feed the Locality policy
-// and may be nil/zero for the others.
-func (p Placement) pick(workers []*simWorker, alloc resources.Vector, data *vine.Layer, taskID int) *simWorker {
+// pickLinear returns the chosen worker among those that fit, or nil, by a
+// linear scan over workers in slice order. It is the reference semantics
+// for the capacity-indexed path (simulator.pickWorker): the property tests
+// assert that capIndex queries return exactly the worker this scan picks.
+// workers holds only alive workers; data and taskID feed the Locality
+// policy and may be nil/zero for the others.
+func (p Placement) pickLinear(workers []*simWorker, alloc resources.Vector, data *vine.Layer, taskID int) *simWorker {
 	var chosen *simWorker
 	var chosenScore float64
 	for _, w := range workers {

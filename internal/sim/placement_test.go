@@ -39,24 +39,24 @@ func TestPickPolicies(t *testing.T) {
 	}
 	alloc := resources.New(1, 2000, 100, resources.Unlimited)
 
-	if w := FirstFit.pick(workers, alloc, nil, 0); w.id != 0 {
+	if w := FirstFit.pickLinear(workers, alloc, nil, 0); w.id != 0 {
 		t.Errorf("first-fit chose %d, want 0", w.id)
 	}
-	if w := WorstFit.pick(workers, alloc, nil, 0); w.id != 2 {
+	if w := WorstFit.pickLinear(workers, alloc, nil, 0); w.id != 2 {
 		t.Errorf("worst-fit chose %d, want 2 (most free memory)", w.id)
 	}
-	if w := BestFit.pick(workers, alloc, nil, 0); w.id != 1 {
+	if w := BestFit.pickLinear(workers, alloc, nil, 0); w.id != 1 {
 		t.Errorf("best-fit chose %d, want 1 (tightest fit)", w.id)
 	}
 
 	// Nothing fits: nil.
 	huge := resources.New(1, 65000, 100, resources.Unlimited)
-	if w := BestFit.pick(workers, huge, nil, 0); w != nil {
+	if w := BestFit.pickLinear(workers, huge, nil, 0); w != nil {
 		t.Errorf("impossible allocation placed on %d", w.id)
 	}
 	// Evicted workers leave the scan set entirely (the simulator removes
 	// them from the alive index), so pick never sees them.
-	if w := WorstFit.pick(workers[:2], alloc, nil, 0); w.id != 0 {
+	if w := WorstFit.pickLinear(workers[:2], alloc, nil, 0); w.id != 0 {
 		t.Errorf("worst-fit with evicted worker chose %d, want 0", w.id)
 	}
 }

@@ -18,16 +18,23 @@ func TestEvictionRequeueAscendingBlock(t *testing.T) {
 		Workflow: &workflow.Workflow{},
 		Policy:   stubbornPolicy{},
 	}.withDefaults()}
-	s.tasks = make([]simTask, 12)
+	s.src = (&workflow.Workflow{}).Stream()
+	s.drained = true // nothing left to generate; the 12 tasks below are the window
+	for i := 0; i < 12; i++ {
+		*s.store.pushBack() = simTask{}
+	}
+	s.generated = 12
 	s.futureArrivals = 1 // a worker is still due, so dispatch won't declare the queue stranded
+	s.capIdx = newCapIndex(1)
 
 	w := newSimWorker(0, resources.PaperWorker())
 	for _, idx := range []int{9, 3, 5} { // deliberately unsorted
-		s.tasks[idx].hasAlloc = true
+		s.store.get(idx).hasAlloc = true
 		w.running[idx] = runningTask{endEv: s.engine.After(100, func() {})}
 	}
-	s.workers = []*simWorker{w}
+	s.aliveHead, s.aliveTail, s.alive = w, w, 1
 	s.byID = []*simWorker{w}
+	s.capIdx.update(0, w)
 	s.ready.PushBack(11) // already waiting before the eviction
 
 	s.onEviction(w.id)
@@ -39,14 +46,14 @@ func TestEvictionRequeueAscendingBlock(t *testing.T) {
 	if got := queueContents(&s.ready); !equalInts(got, want) {
 		t.Errorf("ready queue after eviction = %v, want %v", got, want)
 	}
-	if len(s.workers) != 0 {
-		t.Errorf("evicted worker still in the alive index (%d workers)", len(s.workers))
+	if s.alive != 0 || s.aliveHead != nil || s.aliveTail != nil {
+		t.Errorf("evicted worker still in the alive chain (%d workers)", s.alive)
 	}
 	if s.evictions != 1 {
 		t.Errorf("evictions = %d, want 1", s.evictions)
 	}
 	for _, idx := range []int{3, 5, 9} {
-		a := s.tasks[idx].outcome.Attempts
+		a := s.store.get(idx).outcome.Attempts
 		if len(a) != 1 || a[0].Status != metrics.Evicted {
 			t.Errorf("task %d attempts = %+v, want one evicted attempt", idx, a)
 		}

@@ -42,8 +42,18 @@ const DefaultMaxAttempts = 64
 
 // Config describes one simulation run.
 type Config struct {
+	// Workflow is the workload as a materialized task slice. Exactly one of
+	// Workflow and Source must be set; a Workflow runs through its Stream()
+	// cursor, so both forms drive the same engine.
 	Workflow *workflow.Workflow
-	Policy   allocator.Policy
+	// Source generates the workload lazily (see workflow.Source). Tasks are
+	// pulled only as barriers and the submit window release them, so with a
+	// bounded window the engine's peak memory scales with the in-flight
+	// window, not the task count — the streaming path for million-task
+	// runs. Combine with OnOutcome or DiscardOutcomes to keep the result
+	// side equally bounded.
+	Source workflow.Source
+	Policy allocator.Policy
 	// Pool provides the worker arrival schedule. Nil means the paper pool
 	// (20 workers ramping to 50).
 	Pool opportunistic.Model
@@ -64,6 +74,20 @@ type Config struct {
 	MaxAttempts int
 	// IncludeEvictions charges eviction-lost allocations to the AWE metric.
 	IncludeEvictions bool
+	// OnOutcome, when non-nil, streams each finalized task outcome (in task
+	// index order) instead of retaining it: Result.Outcomes stays nil. The
+	// pointed-to outcome is owned by the simulator and recycled after the
+	// callback returns — copy anything kept beyond the call.
+	OnOutcome func(*metrics.TaskOutcome)
+	// DiscardOutcomes drops per-task outcomes after folding them into the
+	// run's accumulator (and Categories/OnOutcome, if set), leaving
+	// Result.Outcomes nil. Set it on large streaming runs where only the
+	// aggregate metrics matter.
+	DiscardOutcomes bool
+	// Categories, when non-nil, additionally folds every outcome into
+	// bounded per-category streaming statistics (waste accumulators plus
+	// memory/runtime reservoirs).
+	Categories *metrics.ByCategory
 }
 
 func (c Config) withDefaults() Config {
@@ -81,11 +105,17 @@ func (c Config) withDefaults() Config {
 
 // Result aggregates a simulation run.
 type Result struct {
+	// Outcomes holds the per-task outcomes in task order. It is nil when
+	// the run streamed them away (Config.OnOutcome or DiscardOutcomes).
 	Outcomes []metrics.TaskOutcome
 	Acc      metrics.Accumulator
 	Makespan float64
 	// PeakWorkers is the largest number of simultaneously alive workers.
 	PeakWorkers int
+	// PeakWindow is the largest number of task records held at once: the
+	// realized in-flight window, which bounds the engine's per-task memory
+	// (on a windowed streaming run it is independent of the task count).
+	PeakWindow int
 	// Evictions counts worker evictions. Every eviction is counted,
 	// whether it interrupted running tasks or hit an idle worker.
 	Evictions int
@@ -135,6 +165,9 @@ type simWorker struct {
 	used    resources.Vector
 	running map[int]runningTask
 	alive   bool
+	// prev/next link the alive list in ascending-id (= arrival) order;
+	// eviction unlinks in O(1) instead of splicing a slice.
+	prev, next *simWorker
 }
 
 // newSimWorker builds an alive worker of the given shape with its admission
@@ -162,24 +195,37 @@ func (w *simWorker) fits(alloc resources.Vector) bool {
 		w.used[resources.Disk]+alloc[resources.Disk] <= w.limit[resources.Disk]
 }
 
+// unreleased marks simulator.released when no barrier gates task
+// generation: every task the source produces may start.
+const unreleased = math.MaxInt
+
 type simulator struct {
 	cfg      Config
+	src      workflow.Source
 	engine   devent.Engine
-	tasks    []simTask
-	arrivals []opportunistic.Arrival // pool schedule, indexed by worker id
+	store    taskStore               // in-flight window of per-task state, keyed by task index
 	ready    taskQueue               // task indices awaiting placement, in dispatch priority order
-	// workers holds only alive workers, in arrival (ascending-ID) order:
-	// eviction removes a worker from the scan set instead of leaving a
-	// tombstone, so placement never iterates the dead.
-	workers []*simWorker
+	arrivals []opportunistic.Arrival // pool schedule, indexed by worker id
+	capIdx   *capIndex               // capacity index over worker slots for O(log W) placement
+	// aliveHead/aliveTail chain alive workers in arrival (ascending-id)
+	// order; the Locality placement scans the chain and eviction unlinks
+	// in O(1).
+	aliveHead, aliveTail *simWorker
+	alive                int
 	// byID resolves the worker id carried in event payloads; evicted slots
 	// are nilled so the worker can be collected.
 	byID    []*simWorker
 	victims []int // eviction scratch, reused across onEviction calls
 
-	released          int // tasks [0, released) may start (barrier gating)
+	window            int  // submit window (0 = everything released at once)
+	generated         int  // tasks pulled from the source so far
+	drained           bool // the source is exhausted
+	retain            bool // keep emitted outcomes in Result.Outcomes
+	released          int  // tasks [0, released) may start (barrier gating); unreleased when no barrier remains
 	completed         int
 	completedInPrefix int
+	outcomes          []metrics.TaskOutcome
+	acc               metrics.Accumulator
 	futureArrivals    int
 	peakWorkers       int
 	evictions         int
@@ -204,18 +250,23 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("%w before start: %w", ErrCanceled, err)
 	}
 	cfg = cfg.withDefaults()
-	if cfg.Workflow == nil || cfg.Policy == nil {
-		return nil, fmt.Errorf("sim: Workflow and Policy are required")
+	src := cfg.Source
+	if cfg.Workflow != nil {
+		if src != nil {
+			return nil, fmt.Errorf("sim: set exactly one of Workflow and Source")
+		}
+		src = cfg.Workflow.Stream()
 	}
-	s := &simulator{cfg: cfg}
-	s.tasks = make([]simTask, len(cfg.Workflow.Tasks))
-	for i, t := range cfg.Workflow.Tasks {
-		s.tasks[i] = simTask{task: t, outcome: metrics.TaskOutcome{
-			TaskID:   t.ID,
-			Category: t.Category,
-			Peak:     t.Consumption,
-			Runtime:  t.Runtime(),
-		}}
+	if src == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: Workflow (or Source) and Policy are required")
+	}
+	s := &simulator{cfg: cfg, src: src}
+	s.window = src.SubmitWindow()
+	s.retain = cfg.OnOutcome == nil && !cfg.DiscardOutcomes
+	s.acc.IncludeEvictions = cfg.IncludeEvictions
+	s.released = unreleased
+	if b := src.NextBarrier(0); b >= 0 {
+		s.released = b
 	}
 
 	arrivals := cfg.Pool.Schedule(cfg.PoolSeed)
@@ -224,6 +275,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	s.arrivals = arrivals
 	s.byID = make([]*simWorker, len(arrivals))
+	s.capIdx = newCapIndex(len(arrivals))
 	s.futureArrivals = len(arrivals)
 	s.engine.SetHandler(s.handleEvent)
 	// Bulk-load the whole arrival schedule: one O(n) heapify instead of n
@@ -234,13 +286,6 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	s.engine.Preload(pre)
 
-	s.released = len(s.tasks)
-	if len(cfg.Workflow.Barriers) > 0 {
-		s.released = cfg.Workflow.Barriers[0]
-	}
-	for i := 0; i < s.released; i++ {
-		s.ready.PushBack(i)
-	}
 	s.engine.Schedule(0, evDispatch, devent.Payload{})
 	for steps := 0; ; steps++ {
 		if steps%ctxCheckInterval == 0 && ctx.Err() != nil {
@@ -254,21 +299,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	if s.completed != len(s.tasks) {
-		return nil, fmt.Errorf("sim: deadlock with %d/%d tasks complete (pool drained or infeasible allocation)",
-			s.completed, len(s.tasks))
+	if !s.drained || s.completed != s.generated {
+		return nil, fmt.Errorf("sim: deadlock with %d/%d generated tasks complete (pool drained or infeasible allocation)",
+			s.completed, s.generated)
 	}
-	res := &Result{
+	return &Result{
+		Outcomes:    s.outcomes,
+		Acc:         s.acc,
 		Makespan:    s.makespan,
 		PeakWorkers: s.peakWorkers,
+		PeakWindow:  s.store.peak,
 		Evictions:   s.evictions,
-	}
-	res.Acc.IncludeEvictions = cfg.IncludeEvictions
-	for i := range s.tasks {
-		res.Outcomes = append(res.Outcomes, s.tasks[i].outcome)
-		res.Acc.Add(s.tasks[i].outcome)
-	}
-	return res, nil
+	}, nil
 }
 
 func (s *simulator) fail(err error) {
@@ -300,11 +342,21 @@ func (s *simulator) onArrival(id int) {
 		return
 	}
 	w := newSimWorker(id, s.cfg.WorkerShape)
-	s.workers = append(s.workers, w)
 	s.byID[id] = w
+	// Append to the alive-list tail: ids arrive in ascending order (pool
+	// schedules are time-sorted, ties fire in preload order), so the chain
+	// stays sorted by id without insertion search.
+	if s.aliveTail == nil {
+		s.aliveHead, s.aliveTail = w, w
+	} else {
+		s.aliveTail.next, w.prev = w, s.aliveTail
+		s.aliveTail = w
+	}
+	s.alive++
+	s.capIdx.update(id, w)
 	s.futureArrivals--
-	if len(s.workers) > s.peakWorkers {
-		s.peakWorkers = len(s.workers)
+	if s.alive > s.peakWorkers {
+		s.peakWorkers = s.alive
 	}
 	if lt := s.arrivals[id].Lifetime; lt > 0 {
 		s.engine.ScheduleAfter(lt, evEviction, devent.Payload{A: id})
@@ -319,14 +371,21 @@ func (s *simulator) onEviction(id int) {
 	}
 	w.alive = false
 	s.byID[id] = nil
-	// Remove the worker from the alive index: the scan set shrinks instead
-	// of accumulating tombstones that every placement probe would skip.
-	for i, x := range s.workers {
-		if x == w {
-			s.workers = append(s.workers[:i], s.workers[i+1:]...)
-			break
-		}
+	// Unlink from the alive chain: the scan set shrinks instead of
+	// accumulating tombstones that every placement probe would skip.
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		s.aliveHead = w.next
 	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		s.aliveTail = w.prev
+	}
+	w.prev, w.next = nil, nil
+	s.alive--
+	s.capIdx.update(id, nil)
 	s.evictions++
 	if s.cfg.Data != nil {
 		s.cfg.Data.DropWorker(w.id)
@@ -342,7 +401,7 @@ func (s *simulator) onEviction(id int) {
 	for _, idx := range victims {
 		rt := w.running[idx]
 		s.engine.Cancel(rt.endEv)
-		st := &s.tasks[idx]
+		st := s.store.get(idx)
 		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
 			Alloc:    st.alloc,
 			Duration: now - rt.start,
@@ -360,6 +419,66 @@ func (s *simulator) onEviction(id int) {
 	s.dispatch()
 }
 
+// generate pulls tasks from the source into the store and the ready queue,
+// up to the barrier/submit-window limit. Pulling lazily here is what the
+// old engine achieved by queueing every released task and window-gating
+// the scan: ungated fresh tasks are always an ascending-index suffix of
+// the ready queue, so deferring their creation changes no dispatch
+// decision — it only keeps the in-flight window small.
+func (s *simulator) generate() {
+	limit := s.released
+	if s.window > 0 {
+		if l := s.completed + s.window; l < limit {
+			limit = l
+		}
+	}
+	for !s.drained && s.generated < limit {
+		t, ok := s.src.Next()
+		if !ok {
+			s.drained = true
+			return
+		}
+		e := s.store.pushBack()
+		var attempts []metrics.Attempt
+		if !s.retain {
+			// The slot's previous occupant was emitted and will never be
+			// read again; recycle its attempts capacity.
+			attempts = e.outcome.Attempts[:0]
+		}
+		*e = simTask{task: t, outcome: metrics.TaskOutcome{
+			TaskID:   t.ID,
+			Category: t.Category,
+			Peak:     t.Consumption,
+			Runtime:  t.Runtime(),
+			Attempts: attempts,
+		}}
+		s.ready.PushBack(s.generated)
+		s.generated++
+	}
+}
+
+// emit flushes the completed prefix of the task window, in task-index
+// order: fold into the accumulators, hand to the streaming callback, and
+// (in retained mode) append to the outcome slice. Index-ordered emission
+// keeps the accumulator's floating-point sums bit-identical to the old
+// end-of-run fold.
+func (s *simulator) emit() {
+	for s.store.len() > 0 && s.store.front().done {
+		st := s.store.front()
+		s.acc.Add(st.outcome)
+		if s.cfg.Categories != nil {
+			s.cfg.Categories.Add(&st.outcome)
+		}
+		if s.cfg.OnOutcome != nil {
+			s.cfg.OnOutcome(&st.outcome)
+		}
+		if s.retain {
+			s.outcomes = append(s.outcomes, st.outcome)
+		}
+		s.store.popFront()
+	}
+}
+
 // dispatch greedily places ready tasks onto alive workers, in queue order,
 // skipping tasks that fit no worker right now (Work Queue-style in-manager
 // backfilling avoids head-of-line blocking).
@@ -367,12 +486,7 @@ func (s *simulator) dispatch() {
 	if s.err != nil {
 		return
 	}
-	// SubmitWindow models runtime task generation: tasks beyond
-	// completed+window have not been produced by the application yet.
-	submitted := len(s.tasks)
-	if w := s.cfg.Workflow.SubmitWindow; w > 0 {
-		submitted = s.completed + w
-	}
+	s.generate()
 	// Bound the backfilling depth: after this many consecutive placement
 	// failures the pool is effectively full for this batch's allocation
 	// sizes and the rest of the queue is left for the next event (real
@@ -389,14 +503,7 @@ func (s *simulator) dispatch() {
 			break
 		}
 		idx := s.ready.At(scanned)
-		st := &s.tasks[idx]
-		// Window-gating applies to tasks that never started; a retried or
-		// evicted task was already generated and stays dispatchable.
-		if !st.hasAlloc && idx >= submitted {
-			s.ready.Set(kept, idx)
-			kept++
-			continue
-		}
+		st := s.store.get(idx)
 		// Allocation happens at dispatch time (Section II-A): a first
 		// attempt gets a fresh prediction every time placement is tried,
 		// so a task that waited in the queue benefits from everything the
@@ -406,7 +513,7 @@ func (s *simulator) dispatch() {
 		if !st.hasAlloc {
 			alloc = s.cfg.Policy.Allocate(st.task.Category, st.task.ID)
 		}
-		if w := s.cfg.Place.pick(s.workers, alloc, s.cfg.Data, st.task.ID); w != nil {
+		if w := s.pickWorker(alloc, st.task.ID); w != nil {
 			st.alloc = alloc
 			st.hasAlloc = true
 			s.place(w, idx)
@@ -424,13 +531,45 @@ func (s *simulator) dispatch() {
 		kept++
 	}
 	s.ready.Truncate(kept)
-	if s.ready.Len() > 0 && len(s.workers) == 0 && s.futureArrivals == 0 {
+	if s.alive == 0 && s.futureArrivals == 0 && (s.ready.Len() > 0 || !s.drained) {
 		s.fail(fmt.Errorf("sim: %d tasks stranded with no workers left", s.ready.Len()))
 	}
 }
 
+// pickWorker routes a placement probe to the capacity index (first/worst/
+// best fit, O(log W)) or, for Locality, to a scan of the alive chain in
+// arrival order.
+func (s *simulator) pickWorker(alloc resources.Vector, taskID int) *simWorker {
+	switch s.cfg.Place {
+	case FirstFit:
+		return s.capIdx.firstFit(alloc)
+	case WorstFit:
+		return s.capIdx.worstFit(alloc)
+	case BestFit:
+		return s.capIdx.bestFit(alloc)
+	case Locality:
+		var chosen *simWorker
+		var chosenScore float64
+		for w := s.aliveHead; w != nil; w = w.next {
+			if !w.fits(alloc) {
+				continue
+			}
+			score := 0.0
+			if s.cfg.Data != nil {
+				score = s.cfg.Data.CachedMB(w.id, taskID)
+			}
+			if chosen == nil || score > chosenScore {
+				chosen, chosenScore = w, score
+			}
+		}
+		return chosen
+	default:
+		return nil
+	}
+}
+
 func (s *simulator) place(w *simWorker, idx int) {
-	st := &s.tasks[idx]
+	st := s.store.get(idx)
 	w.used = w.used.Add(st.alloc.With(resources.Time, 0))
 	for _, k := range [...]resources.Kind{resources.Cores, resources.Memory, resources.Disk} {
 		if w.used.Get(k) > w.limit.Get(k) {
@@ -439,6 +578,7 @@ func (s *simulator) place(w *simWorker, idx int) {
 			return
 		}
 	}
+	s.capIdx.update(w.id, w)
 	now := s.engine.Now()
 	duration, exceeded := EvaluateAttempt(s.cfg.Model, st.task.Consumption, st.task.Runtime(), st.alloc)
 	if s.cfg.Data != nil {
@@ -461,7 +601,7 @@ func (s *simulator) onTaskEnd(workerID, idx int, duration float64) {
 	// The end event is cancelled on eviction, so the worker is always alive
 	// (and registered) when it fires.
 	w := s.byID[workerID]
-	st := &s.tasks[idx]
+	st := s.store.get(idx)
 	exceeded := w.running[idx].exceeded
 	delete(w.running, idx)
 	w.used = w.used.Sub(st.alloc.With(resources.Time, 0))
@@ -471,6 +611,7 @@ func (s *simulator) onTaskEnd(workerID, idx int, duration float64) {
 			w.used[k] = 0
 		}
 	}
+	s.capIdx.update(w.id, w)
 
 	if len(exceeded) == 0 {
 		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
@@ -483,6 +624,7 @@ func (s *simulator) onTaskEnd(workerID, idx int, duration float64) {
 		s.makespan = s.engine.Now()
 		s.cfg.Policy.Observe(st.task.Category, st.task.ID, st.task.Consumption, st.task.Runtime())
 		s.advanceBarrier(idx)
+		s.emit()
 		s.dispatch()
 		return
 	}
@@ -508,20 +650,11 @@ func (s *simulator) advanceBarrier(completedIdx int) {
 	if completedIdx < s.released {
 		s.completedInPrefix++
 	}
-	w := s.cfg.Workflow
-	for s.released < len(s.tasks) && s.completedInPrefix == s.released {
-		next := len(s.tasks)
-		for _, b := range w.Barriers {
-			if b > s.released {
-				next = int(math.Min(float64(next), float64(b)))
-				break
-			}
+	for s.released != unreleased && s.completedInPrefix == s.released {
+		next := s.src.NextBarrier(s.released)
+		if next < 0 {
+			next = unreleased
 		}
-		for i := s.released; i < next; i++ {
-			s.ready.PushBack(i)
-		}
-		// Count already-completed tasks in the newly released prefix (none
-		// can exist, but keep the invariant explicit).
 		s.released = next
 	}
 }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/dist"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+// benchStream drives nTasks lazily generated tasks through the streaming
+// engine on a pool that churns through roughly horizon workers (mean lease
+// 260s against ~130s tasks, so evictions and retries are constant), folding
+// outcomes into the accumulator as they finish. The peak-window metric is
+// the largest number of task records alive at once — the run's working set
+// is that window, not the task count.
+func benchStream(b *testing.B, nTasks, window int, horizon float64) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, err := workflow.SourceByName("uniform", nTasks, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Run(Config{
+			Source: workflow.WithSubmitWindow(src, window),
+			Policy: allocator.MustNew(allocator.MaxSeen, allocator.Config{Seed: 42}),
+			Pool: opportunistic.Churn{
+				Initial: 256, MeanLifetime: 260, MeanInterval: 1,
+				Horizon: horizon, KeepLastAlive: true,
+			},
+			PoolSeed:        42,
+			DiscardOutcomes: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Acc.Tasks() != nTasks {
+			b.Fatalf("completed %d of %d tasks", res.Acc.Tasks(), nTasks)
+		}
+		b.ReportMetric(float64(res.PeakWindow), "peak-window")
+		b.ReportMetric(float64(res.PeakWorkers), "peak-workers")
+	}
+}
+
+// BenchmarkStream1M is the headline scaling scenario: one million tasks
+// against ~100k churning workers in one process. It runs close to a minute,
+// so it is recorded by `make bench-stream` rather than the default suite
+// (and is deliberately outside the BenchmarkSim pattern).
+func BenchmarkStream1M(b *testing.B) { benchStream(b, 1_000_000, 16384, 1e5) }
+
+// BenchmarkStream100k is the same shape at a tenth the scale (~10k churning
+// workers); `make bench-stream-smoke` runs it in ci, asserting the
+// allocs/op ceiling that keeps the engine's footprint window-bounded.
+func BenchmarkStream100k(b *testing.B) { benchStream(b, 100_000, 16384, 1e4) }
+
+// BenchmarkPlacementIndex100k probes the capacity index at 100k worker
+// slots under a mixed load (uniform fill, so ~1 in 9 workers is too full
+// for the probe allocation). Updates and first-fit/worst-fit queries are
+// O(log W); best-fit is exact branch-and-bound — its score lower bound
+// keeps pointing into subtrees of too-full workers, so under mixed loads
+// it degenerates toward the cost of the linear scan it replaced. The
+// sub-runs keep those costs separately visible in the trajectory.
+func BenchmarkPlacementIndex100k(b *testing.B) {
+	const n = 100_000
+	shape := resources.PaperWorker()
+	ci := newCapIndex(n)
+	r := dist.NewRand(7)
+	workers := make([]*simWorker, n)
+	for i := range workers {
+		w := newSimWorker(i, shape)
+		w.used = shape.Scale(r.Float64() * 0.95)
+		workers[i] = w
+		ci.update(i, w)
+	}
+	alloc := resources.New(3, 12000, 6000, 0)
+	b.Run("update", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slot := int(uint64(i) * 2654435761 % n)
+			w := workers[slot]
+			w.used = shape.Scale(float64(i%97) / 100)
+			ci.update(slot, w)
+		}
+	})
+	probe := func(fit func(resources.Vector) *simWorker) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if fit(alloc) == nil {
+					b.Fatal("index lost every worker")
+				}
+			}
+		}
+	}
+	b.Run("first-fit", probe(ci.firstFit))
+	b.Run("worst-fit", probe(ci.worstFit))
+	b.Run("best-fit", probe(ci.bestFit))
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+// streamParityPool is a churny pool, so the Source-driven path is exercised
+// under evictions, block requeues, and worker turnover — not just the happy
+// path.
+func streamParityPool() opportunistic.Model {
+	return opportunistic.Churn{
+		Initial: 8, MeanLifetime: 600, MeanInterval: 250,
+		Horizon: 1e5, KeepLastAlive: true,
+	}
+}
+
+// TestSourceMatchesWorkflowFingerprints is the API-redesign contract: for
+// every evaluation workload and several seeds, driving the simulator from a
+// lazy workflow.Source must produce a byte-identical Result — same
+// makespan bits, same attempt chains, same allocation vectors — as driving
+// it from the materialized *Workflow. The workloads' generators share one
+// sequential random stream between the two forms (Materialize is defined
+// over the stream), so any divergence is an engine bug, not sampling noise.
+func TestSourceMatchesWorkflowFingerprints(t *testing.T) {
+	for _, name := range workflow.Names() {
+		for _, seed := range []uint64{1, 7, 23} {
+			n := 160 // synthetic families; production workloads fix their own count
+			run := func(cfg Config) uint64 {
+				cfg.Policy = allocator.MustNew(allocator.MaxSeen, allocator.Config{Seed: seed + 5})
+				cfg.Pool = streamParityPool()
+				cfg.PoolSeed = seed
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s/seed%d: %v", name, seed, err)
+				}
+				return resultFingerprint(res)
+			}
+			w, err := workflow.ByName(name, n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := workflow.SourceByName(name, n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slice, stream := run(Config{Workflow: w}), run(Config{Source: src}); slice != stream {
+				t.Errorf("%s/seed%d: source-driven run diverged: %x vs %x", name, seed, slice, stream)
+			}
+		}
+	}
+}
+
+// TestStreamingModeMatchesRetained checks the outcome-streaming side of the
+// redesign: with OnOutcome (or DiscardOutcomes) set, Result.Outcomes is nil
+// but the accumulated metrics, the emission order, and every emitted
+// outcome must match the retained run exactly.
+func TestStreamingModeMatchesRetained(t *testing.T) {
+	w := mustWorkflow(t, "bimodal", 220, 3)
+	base := func() Config {
+		return Config{
+			Workflow: w,
+			Policy:   allocator.MustNew(allocator.Exhaustive, allocator.Config{Seed: 9}),
+			Pool:     streamParityPool(),
+			PoolSeed: 3,
+		}
+	}
+	retained, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []metrics.TaskOutcome
+	cfg := base()
+	cfg.OnOutcome = func(o *metrics.TaskOutcome) {
+		c := *o
+		c.Attempts = append([]metrics.Attempt(nil), o.Attempts...)
+		streamed = append(streamed, c)
+	}
+	stream, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Outcomes != nil {
+		t.Error("streaming run retained outcomes")
+	}
+	if len(streamed) != len(retained.Outcomes) {
+		t.Fatalf("streamed %d outcomes, retained run had %d", len(streamed), len(retained.Outcomes))
+	}
+	for i := range streamed {
+		if streamed[i].TaskID != retained.Outcomes[i].TaskID {
+			t.Fatalf("emission order diverged at %d: task %d vs %d",
+				i, streamed[i].TaskID, retained.Outcomes[i].TaskID)
+		}
+		if len(streamed[i].Attempts) != len(retained.Outcomes[i].Attempts) {
+			t.Fatalf("task %d attempt count diverged", streamed[i].TaskID)
+		}
+		for j := range streamed[i].Attempts {
+			if streamed[i].Attempts[j] != retained.Outcomes[i].Attempts[j] {
+				t.Fatalf("task %d attempt %d diverged", streamed[i].TaskID, j)
+			}
+		}
+	}
+	if stream.Acc != retained.Acc {
+		t.Errorf("accumulators diverged:\nstream   %+v\nretained %+v", stream.Summary(), retained.Summary())
+	}
+
+	discard := base()
+	discard.DiscardOutcomes = true
+	disc, err := Run(discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.Outcomes != nil {
+		t.Error("DiscardOutcomes retained outcomes")
+	}
+	if disc.Acc != retained.Acc {
+		t.Error("DiscardOutcomes accumulator diverged from retained run")
+	}
+}
+
+// TestSubmitWindowBoundsPeakWindow is the memory claim behind the streaming
+// API: with a submit window, the number of task records alive at once is a
+// function of the window and the pool (emission is index-ordered, so tasks
+// completing behind a long-running older task linger until it drains), but
+// NOT of the task count — doubling the workload must not move the peak.
+func TestSubmitWindowBoundsPeakWindow(t *testing.T) {
+	peak := func(n int) int {
+		src, err := workflow.SourceByName("uniform", n, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Source:          workflow.WithSubmitWindow(src, 32),
+			Policy:          allocator.MustNew(allocator.MaxSeen, allocator.Config{Seed: 6}),
+			Pool:            opportunistic.Static{N: 10},
+			DiscardOutcomes: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Acc.Tasks() != n {
+			t.Fatalf("completed %d of %d tasks", res.Acc.Tasks(), n)
+		}
+		if res.Outcomes != nil {
+			t.Error("discard run kept outcomes")
+		}
+		return res.PeakWindow
+	}
+	p1, p2 := peak(1500), peak(3000)
+	if p2 >= 1500/2 {
+		t.Errorf("peak window %d is not small relative to the workload", p2)
+	}
+	// Independence of task count: doubling the workload adds 1500 tasks but
+	// may only nudge the peak by straggler noise (a deeper run has more
+	// chances to hit an extreme duration outlier), never track the count.
+	if p2 > p1+2*32 {
+		t.Errorf("peak window grew with the task count: %d (n=1500) vs %d (n=3000)", p1, p2)
+	}
+}
+
+// TestCategoriesStreaming wires Config.Categories: per-category accumulators
+// must partition the global accumulator exactly.
+func TestCategoriesStreaming(t *testing.T) {
+	w := mustWorkflow(t, "colmena", 0, 4)
+	bc := metrics.NewByCategory(64, 11)
+	res, err := Run(Config{
+		Workflow:        w,
+		Policy:          allocator.MustNew(allocator.MaxSeen, allocator.Config{Seed: 12}),
+		Pool:            opportunistic.Static{N: 30},
+		Categories:      bc,
+		DiscardOutcomes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := bc.Categories()
+	if len(cats) != 2 || cats[0] != "evaluate_mpnn" || cats[1] != "compute_atomization_energy" {
+		t.Fatalf("categories = %v", cats)
+	}
+	if bc.Tasks() != res.Acc.Tasks() {
+		t.Errorf("per-category tasks %d != global %d", bc.Tasks(), res.Acc.Tasks())
+	}
+	for _, k := range resources.AllocatedKinds() {
+		sum := 0.0
+		for _, c := range cats {
+			sum += bc.Stats(c).Acc.Allocation(k)
+		}
+		if got := res.Acc.Allocation(k); !almostEqual(sum, got) {
+			t.Errorf("allocation(%s): category sum %v != global %v", k, sum, got)
+		}
+	}
+	for _, c := range cats {
+		cs := bc.Stats(c)
+		if cs.Memory.Seen() != uint64(cs.Acc.Tasks()) {
+			t.Errorf("%s: memory reservoir saw %d of %d tasks", c, cs.Memory.Seen(), cs.Acc.Tasks())
+		}
+		if cs.Memory.Len() > 64 {
+			t.Errorf("%s: reservoir overflowed its capacity: %d", c, cs.Memory.Len())
+		}
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}
+
+// TestConfigSourceExclusivity: setting both workload forms is a caller bug
+// and must error rather than silently prefer one.
+func TestConfigSourceExclusivity(t *testing.T) {
+	w := mustWorkflow(t, "normal", 10, 2)
+	_, err := Run(Config{
+		Workflow: w,
+		Source:   w.Stream(),
+		Policy:   NewOracle(w),
+		Pool:     opportunistic.Static{N: 2},
+	})
+	if err == nil {
+		t.Error("both Workflow and Source set should error")
+	}
+}

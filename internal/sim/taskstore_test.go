@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+func TestTaskStoreWindowSemantics(t *testing.T) {
+	var ts taskStore
+	if ts.len() != 0 || ts.lo() != 0 || ts.hi() != 0 {
+		t.Fatalf("zero store not empty: len=%d lo=%d hi=%d", ts.len(), ts.lo(), ts.hi())
+	}
+	// Slide a window of at most 5 over 1000 task indices, forcing many ring
+	// wraps, and verify every live entry stays addressable by its absolute
+	// index.
+	next := 0
+	for next < 1000 || ts.len() > 0 {
+		for ts.len() < 5 && next < 1000 {
+			e := ts.pushBack()
+			e.task.ID = next + 1
+			e.done = false
+			next++
+		}
+		for i := ts.lo(); i < ts.hi(); i++ {
+			if got := ts.get(i).task.ID; got != i+1 {
+				t.Fatalf("get(%d).ID = %d, want %d", i, got, i+1)
+			}
+		}
+		if ts.front() != ts.get(ts.lo()) {
+			t.Fatal("front() disagrees with get(lo())")
+		}
+		drop := 1 + next%3
+		for d := 0; d < drop && ts.len() > 0; d++ {
+			ts.popFront()
+		}
+	}
+	if ts.lo() != 1000 || ts.hi() != 1000 {
+		t.Errorf("final window = [%d, %d), want [1000, 1000)", ts.lo(), ts.hi())
+	}
+	if ts.peak > 8 {
+		t.Errorf("peak window = %d for a 5-wide sliding window", ts.peak)
+	}
+	if len(ts.buf) > 16 {
+		t.Errorf("ring grew to %d entries for a 5-wide window", len(ts.buf))
+	}
+}
+
+func TestTaskStoreGrowPreservesOrder(t *testing.T) {
+	var ts taskStore
+	// Interleave pushes and pops so the ring wraps before growing.
+	for i := 0; i < 12; i++ {
+		ts.pushBack().task.ID = i + 1
+	}
+	for i := 0; i < 10; i++ {
+		ts.popFront()
+	}
+	for i := 12; i < 200; i++ { // forces several doublings across the wrap
+		ts.pushBack().task.ID = i + 1
+	}
+	for i := ts.lo(); i < ts.hi(); i++ {
+		if got := ts.get(i).task.ID; got != i+1 {
+			t.Fatalf("after grow: get(%d).ID = %d, want %d", i, got, i+1)
+		}
+	}
+	if ts.lo() != 10 || ts.hi() != 200 {
+		t.Errorf("window = [%d, %d), want [10, 200)", ts.lo(), ts.hi())
+	}
+}
+
+func TestTaskStorePopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("popFront on empty store did not panic")
+		}
+	}()
+	var ts taskStore
+	ts.popFront()
+}

@@ -1,6 +1,8 @@
 package workflow
 
 import (
+	"math/rand/v2"
+
 	"dynalloc/internal/dist"
 	"dynalloc/internal/resources"
 )
@@ -18,8 +20,15 @@ type Perturbation struct {
 	// Jitter adds per-task multiplicative noise: each kind is multiplied by
 	// a factor drawn uniformly from [1-Jitter, 1+Jitter].
 	Jitter float64
-	// SwapFraction randomly reorders this fraction of task positions,
-	// modeling changed submission order between runs.
+	// SwapFraction randomly reorders task positions, modeling changed
+	// submission order between runs: ⌊SwapFraction·len(Tasks)⌋ swap
+	// attempts are drawn, each exchanging two uniformly chosen positions.
+	// The fraction is an upper bound on realized swaps, not an exact
+	// count: an attempt whose two positions straddle a phase barrier is
+	// rejected without a redraw (preserving phase structure and keeping
+	// the random stream's length independent of the barrier layout), and
+	// an attempt may draw the same position twice (a no-op). Workflows
+	// with many barriers therefore realize fewer swaps than requested.
 	SwapFraction float64
 }
 
@@ -44,28 +53,47 @@ func Perturb(w *Workflow, p Perturbation, seed uint64) *Workflow {
 
 	// Swap positions within the whole list (phase boundaries are respected
 	// by only swapping tasks in the same phase).
-	if p.SwapFraction > 0 {
-		swaps := int(p.SwapFraction * float64(len(out.Tasks)))
-		for s := 0; s < swaps; s++ {
-			i := r.IntN(len(out.Tasks))
-			j := r.IntN(len(out.Tasks))
-			if w.PhaseOf(i) == w.PhaseOf(j) {
-				out.Tasks[i], out.Tasks[j] = out.Tasks[j], out.Tasks[i]
-			}
-		}
+	if p.SwapFraction > 0 && len(out.Tasks) > 0 {
+		swapTasks(out.Tasks, w.PhaseOf, int(p.SwapFraction*float64(len(out.Tasks))), r)
 	}
 
-	for i := range out.Tasks {
-		c := out.Tasks[i].Consumption
+	applyScaleJitter(out.Tasks, scale, p.Jitter, r)
+	return out
+}
+
+// swapTasks performs up to swaps in-place position exchanges on tasks,
+// applying only same-phase pairs, and returns the number of swaps actually
+// applied. Both indices are drawn unconditionally for every attempt — a
+// rejected cross-phase pair is dropped, never redrawn — so the number of
+// random draws consumed (and therefore every draw that follows, e.g. the
+// jitter factors) depends only on the attempt count, not on the barrier
+// layout. This is what makes SwapFraction an upper bound; see Perturbation.
+func swapTasks(tasks []Task, phaseOf func(int) int, swaps int, r *rand.Rand) int {
+	realized := 0
+	for s := 0; s < swaps; s++ {
+		i := r.IntN(len(tasks))
+		j := r.IntN(len(tasks))
+		if phaseOf(i) == phaseOf(j) {
+			tasks[i], tasks[j] = tasks[j], tasks[i]
+			realized++
+		}
+	}
+	return realized
+}
+
+// applyScaleJitter rescales every task's consumption in place and renumbers
+// IDs to match the (possibly swapped) positions.
+func applyScaleJitter(tasks []Task, scale resources.Vector, jitter float64, r *rand.Rand) {
+	for i := range tasks {
+		c := tasks[i].Consumption
 		for _, k := range resources.Kinds() {
 			factor := scale.Get(k)
-			if p.Jitter > 0 {
-				factor *= 1 - p.Jitter + 2*p.Jitter*r.Float64()
+			if jitter > 0 {
+				factor *= 1 - jitter + 2*jitter*r.Float64()
 			}
 			c = c.With(k, c.Get(k)*factor)
 		}
-		out.Tasks[i].Consumption = c
-		out.Tasks[i].ID = i + 1
+		tasks[i].Consumption = c
+		tasks[i].ID = i + 1
 	}
-	return out
 }

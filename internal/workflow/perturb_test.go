@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dynalloc/internal/dist"
 	"dynalloc/internal/resources"
 )
 
@@ -83,6 +84,41 @@ func TestPerturbSwapRespectsPhases(t *testing.T) {
 	}
 	if math.Abs(sum(w.Tasks)-sum(p.Tasks)) > 1e-6 {
 		t.Error("swapping changed total consumption")
+	}
+}
+
+func TestPerturbSwapCountPinned(t *testing.T) {
+	// SwapFraction is an upper bound: every attempt draws both indices, but
+	// cross-phase pairs are rejected without a redraw. Pin the realized
+	// count for a fixed seed (it is fully deterministic) and check it
+	// against the analytic acceptance rate. ColmenaXTB has 1228 tasks with
+	// a barrier at 228, so a uniform pair lands in one phase with
+	// probability (228/1228)² + (1000/1228)² ≈ 0.70.
+	w := ColmenaXTB(5)
+	r := dist.NewRand(6)
+	tasks := append([]Task(nil), w.Tasks...)
+	attempts := int(0.5 * float64(len(tasks)))
+	realized := swapTasks(tasks, w.PhaseOf, attempts, r)
+	if attempts != 614 || realized != 428 {
+		t.Errorf("seed 6: %d/%d realized swaps, want 428/614", realized, attempts)
+	}
+
+	// The helper consumed exactly the draws Perturb's swap stage consumes:
+	// replaying the remaining stream must reproduce Perturb's output, which
+	// pins the swap-before-jitter draw order.
+	applyScaleJitter(tasks, resources.New(1, 1, 1, 1), 0.1, r)
+	p := Perturb(w, Perturbation{SwapFraction: 0.5, Jitter: 0.1}, 6)
+	for i := range tasks {
+		if tasks[i] != p.Tasks[i] {
+			t.Fatalf("task %d diverged from Perturb: %+v vs %+v", i, tasks[i], p.Tasks[i])
+		}
+	}
+}
+
+func TestPerturbEmptyWorkflow(t *testing.T) {
+	p := Perturb(&Workflow{Name: "x"}, Perturbation{SwapFraction: 1, Jitter: 0.5}, 9)
+	if len(p.Tasks) != 0 || p.Name != "x-perturbed" {
+		t.Errorf("empty workflow perturbed wrong: %+v", p)
 	}
 }
 

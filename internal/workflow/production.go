@@ -50,6 +50,13 @@ func (cs categorySampler) task(id int, r *rand.Rand) Task {
 // logic: molecules are ranked first, then only top-ranked molecules are
 // processed.
 func ColmenaXTB(seed uint64) *Workflow {
+	return Materialize(colmenaStream(seed))
+}
+
+// colmenaStream is the lazy core of ColmenaXTB: the evaluate phase streams
+// first, then — past the barrier — the compute phase, all drawn from one
+// sequential random stream so eager and lazy generation agree bit for bit.
+func colmenaStream(seed uint64) *stream {
 	r := dist.NewRand(seed)
 	evaluate := categorySampler{
 		name:   "evaluate_mpnn",
@@ -68,17 +75,18 @@ func ColmenaXTB(seed uint64) *Workflow {
 	// Colmena's steering loop submits new work in response to returned
 	// results rather than all at once; the window models that runtime task
 	// generation.
-	w := &Workflow{Name: "colmena", Barriers: []int{ColmenaEvaluateTasks}, SubmitWindow: 50}
-	id := 1
-	for i := 0; i < ColmenaEvaluateTasks; i++ {
-		w.Tasks = append(w.Tasks, evaluate.task(id, r))
-		id++
+	return &stream{
+		name:     "colmena",
+		barriers: []int{ColmenaEvaluateTasks},
+		window:   50,
+		n:        ColmenaEvaluateTasks + ColmenaComputeTasks,
+		gen: func(i int) (Task, bool) {
+			if i < ColmenaEvaluateTasks {
+				return evaluate.task(i+1, r), true
+			}
+			return compute.task(i+1, r), true
+		},
 	}
-	for i := 0; i < ColmenaComputeTasks; i++ {
-		w.Tasks = append(w.Tasks, compute.task(id, r))
-		id++
-	}
-	return w
 }
 
 // TopEFT synthesizes the TopEFT LHC-analysis workflow of Section III:
@@ -90,6 +98,14 @@ func ColmenaXTB(seed uint64) *Workflow {
 // near 180 MB; disk is the constant 306 MB the paper highlights; cores are
 // mostly at or below one with occasional outliers up to three.
 func TopEFT(seed uint64) *Workflow {
+	return Materialize(topeftStream(seed))
+}
+
+// topeftStream is the lazy core of TopEFT. The interleave of processing and
+// accumulating tasks is kept as sequential generator state (an accumulate
+// task is emitted after every topEFTAccumulateSpacing-th processing task),
+// reproducing the eager construction order exactly.
+func topeftStream(seed uint64) *stream {
 	r := dist.NewRand(seed)
 	lightCores := dist.Outlier{
 		Base: dist.Uniform{Lo: 0.2, Hi: 1.0},
@@ -125,26 +141,34 @@ func TopEFT(seed uint64) *Workflow {
 		time:   dist.LogNormal{Mu: ln(60), Sigma: 0.4, Cap: 1200},
 	}
 
-	w := &Workflow{Name: "topeft", Barriers: []int{TopEFTPreprocessTasks}}
-	id := 1
-	for i := 0; i < TopEFTPreprocessTasks; i++ {
-		w.Tasks = append(w.Tasks, preprocess.task(id, r))
-		id++
+	processed, accumulated := 0, 0
+	accumulateNext := false
+	return &stream{
+		name:     "topeft",
+		barriers: []int{TopEFTPreprocessTasks},
+		n:        TopEFTPreprocessTasks + TopEFTProcessTasks + TopEFTAccumulateTasks,
+		gen: func(i int) (Task, bool) {
+			id := i + 1
+			switch {
+			case i < TopEFTPreprocessTasks:
+				return preprocess.task(id, r), true
+			case accumulateNext:
+				accumulateNext = false
+				accumulated++
+				return accumulate.task(id, r), true
+			case processed < TopEFTProcessTasks:
+				processed++
+				if processed%topEFTAccumulateSpacing == 0 && accumulated < TopEFTAccumulateTasks {
+					accumulateNext = true
+				}
+				return process.task(id, r), true
+			case accumulated < TopEFTAccumulateTasks:
+				// Trailing accumulates, when the spacing leaves some over.
+				accumulated++
+				return accumulate.task(id, r), true
+			default:
+				return Task{}, false
+			}
+		},
 	}
-	accumulated := 0
-	for i := 0; i < TopEFTProcessTasks; i++ {
-		w.Tasks = append(w.Tasks, process.task(id, r))
-		id++
-		if (i+1)%topEFTAccumulateSpacing == 0 && accumulated < TopEFTAccumulateTasks {
-			w.Tasks = append(w.Tasks, accumulate.task(id, r))
-			id++
-			accumulated++
-		}
-	}
-	for accumulated < TopEFTAccumulateTasks {
-		w.Tasks = append(w.Tasks, accumulate.task(id, r))
-		id++
-		accumulated++
-	}
-	return w
 }

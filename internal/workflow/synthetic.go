@@ -51,10 +51,10 @@ func memoryPhases(name string, n int) (dist.Phased, error) {
 	}
 }
 
-// Synthetic generates one of the five synthetic workflows with n tasks of a
-// single category (the paper's worst case: a large consumption discrepancy
-// within one category). n == 0 uses the paper's 1000 tasks.
-func Synthetic(name string, n int, seed uint64) (*Workflow, error) {
+// syntheticStream is the lazy core of the five synthetic families: one
+// shared random stream, sampled in a fixed per-task order, so the i-th task
+// is identical whether the workload is drained eagerly or streamed.
+func syntheticStream(name string, n int, seed uint64) (*stream, error) {
 	if n <= 0 {
 		n = DefaultSyntheticTasks
 	}
@@ -64,24 +64,41 @@ func Synthetic(name string, n int, seed uint64) (*Workflow, error) {
 	}
 	r := dist.NewRand(seed)
 	timeSampler := dist.LogNormal{Mu: ln(120), Sigma: 0.4, Cap: 3600}
-	w := &Workflow{Name: name}
+	var barriers []int
 	if name == "trimodal" {
-		w.Barriers = append(w.Barriers, mem.Boundaries...)
+		barriers = append(barriers, mem.Boundaries...)
 	}
-	for i := 0; i < n; i++ {
-		m := mem.SampleAt(i, r)
-		// Disk follows the memory distribution at half magnitude; cores
-		// follow it scaled into a realistic 0.5-12 core range.
-		d := mem.SampleAt(i, r) * 0.5
-		c := clampCores(mem.SampleAt(i, r) / 4000)
-		t := timeSampler.Sample(r)
-		w.Tasks = append(w.Tasks, Task{
-			ID:          i + 1,
-			Category:    name,
-			Consumption: resources.New(c, m, d, t),
-		})
+	return &stream{
+		name:     name,
+		barriers: barriers,
+		n:        n,
+		gen: func(i int) (Task, bool) {
+			m := mem.SampleAt(i, r)
+			// Disk follows the memory distribution at half magnitude; cores
+			// follow it scaled into a realistic 0.5-12 core range.
+			d := mem.SampleAt(i, r) * 0.5
+			c := clampCores(mem.SampleAt(i, r) / 4000)
+			t := timeSampler.Sample(r)
+			return Task{
+				ID:          i + 1,
+				Category:    name,
+				Consumption: resources.New(c, m, d, t),
+			}, true
+		},
+	}, nil
+}
+
+// Synthetic generates one of the five synthetic workflows with n tasks of a
+// single category (the paper's worst case: a large consumption discrepancy
+// within one category). n == 0 uses the paper's 1000 tasks. It is
+// Materialize over the streaming generator; SourceByName returns the lazy
+// form for workloads too large to hold.
+func Synthetic(name string, n int, seed uint64) (*Workflow, error) {
+	s, err := syntheticStream(name, n, seed)
+	if err != nil {
+		return nil, err
 	}
-	return w, nil
+	return Materialize(s), nil
 }
 
 func clampCores(c float64) float64 {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dynalloc/internal/names"
 	"dynalloc/internal/resources"
 )
 
@@ -143,9 +144,24 @@ func SyntheticNames() []string {
 	return []string{"normal", "uniform", "exponential", "bimodal", "trimodal"}
 }
 
+// Parse validates a workload name against Names(), following the shared
+// Names()/Parse() registry contract: the returned error wraps
+// ErrUnknownWorkflow and lists the valid names.
+func Parse(name string) (string, error) {
+	return names.Parse(name, Names(), func(s string) string { return s }, ErrUnknownWorkflow)
+}
+
+// unknownWorkflowError builds the registry miss error for name.
+func unknownWorkflowError(name string) error {
+	_, err := Parse(name)
+	return err
+}
+
 // ByName generates any of the seven evaluation workloads. n is the task
 // count for the synthetic workflows (0 means the paper's 1000); the
-// production workloads have fixed task counts from the paper.
+// production workloads have fixed task counts from the paper. For
+// workloads too large to hold in memory, SourceByName returns the same
+// task streams lazily.
 func ByName(name string, n int, seed uint64) (*Workflow, error) {
 	switch name {
 	case "normal", "uniform", "exponential", "bimodal", "trimodal":
@@ -155,6 +171,6 @@ func ByName(name string, n int, seed uint64) (*Workflow, error) {
 	case "topeft":
 		return TopEFT(seed), nil
 	default:
-		return nil, fmt.Errorf("%w %q", ErrUnknownWorkflow, name)
+		return nil, unknownWorkflowError(name)
 	}
 }
