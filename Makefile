@@ -16,13 +16,22 @@ BENCH_ALLOC_PATTERN = 'BenchmarkCore|BenchmarkAlloc|BenchmarkSimPaperPool1k'
 # rewriting it, since the full Stream1M run takes about a minute.
 BENCH_STREAM_PKGS = ./internal/sim
 BENCH_STREAM_PATTERN = 'BenchmarkStream|BenchmarkPlacementIndex'
+
+# The allocator-service throughput scenarios (sustained allocs/sec across
+# concurrent tenants over real TCP connections); these feed BENCH_serve.json.
+BENCH_SERVE_PKGS = ./internal/serve
+BENCH_SERVE_PATTERN = 'BenchmarkServe'
+# Ceiling for the service smoke run: one allocation round-trip costs ~10
+# allocs (JSON encode/decode on both ends plus the pending-call channel);
+# anything past this means a per-frame allocation regression.
+SERVE_MAX_ALLOCS = 40
 # Ceiling for the streaming smoke run: BenchmarkStream100k measures ~140k
 # allocs for a 100k-task run (setup plus ~0.4 allocs/task of retry and map
 # traffic); anything past this means the engine regressed to per-task
 # allocation.
 STREAM_MAX_ALLOCS = 200000
 
-.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke bench-stream bench-stream-smoke short ci clean
+.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke bench-stream bench-stream-smoke serve-bench serve-bench-smoke short ci clean
 
 all: build
 
@@ -37,7 +46,7 @@ test:
 # with the pooled event engine and the simulator that recycles its
 # slots/handles (harness workers run simulations concurrently).
 race:
-	$(GO) test -race ./internal/harness/... ./internal/devent/... ./internal/sim/... . -count=1
+	$(GO) test -race ./internal/harness/... ./internal/devent/... ./internal/sim/... ./internal/serve/... . -count=1
 
 # The live work-queue engine integration tests (heartbeat loss, bounded
 # retry, drain-under-load, ID-collision regressions) under the race detector.
@@ -83,7 +92,19 @@ bench-stream:
 bench-stream-smoke:
 	$(GO) test $(BENCH_STREAM_PKGS) -run '^$$' -bench 'BenchmarkStream100k|BenchmarkPlacementIndex' -benchmem -benchtime 1x | $(GO) run ./cmd/benchfmt -merge -max-allocs $(STREAM_MAX_ALLOCS) -out BENCH_sim.json
 
-ci: vet build test race test-live bench-smoke bench-alloc-smoke bench-stream-smoke
+# Full service benchmark: sustained allocation throughput against a live
+# server at 1, 8, and 16 concurrent tenants; records BENCH_serve.json.
+serve-bench:
+	$(GO) test $(BENCH_SERVE_PKGS) -run '^$$' -bench $(BENCH_SERVE_PATTERN) -benchmem | $(GO) run ./cmd/benchfmt -out BENCH_serve.json
+
+# ci smoke of the service path, with the per-round-trip allocs/op ceiling
+# enforced so the frame hot path cannot silently start allocating. 100
+# iterations rather than 1 so the worker-goroutine setup cost amortizes out
+# of allocs/op (still a few ms per scenario).
+serve-bench-smoke:
+	$(GO) test $(BENCH_SERVE_PKGS) -run '^$$' -bench $(BENCH_SERVE_PATTERN) -benchmem -benchtime 100x | $(GO) run ./cmd/benchfmt -max-allocs $(SERVE_MAX_ALLOCS) -out BENCH_serve.json
+
+ci: vet build test race test-live bench-smoke bench-alloc-smoke bench-stream-smoke serve-bench-smoke
 
 clean:
 	rm -rf figures-out

@@ -1,0 +1,161 @@
+// Command allocbench is the load generator for the allocator service: it
+// dials an allocd (or spins up an in-process server when -addr is empty),
+// registers a fleet of tenants with several connections each, and streams
+// the synthetic scheduler loop — allocate, escalate through retries until
+// the task's peak fits, observe — as fast as the service answers, printing
+// sustained allocations/sec and the per-tenant counters at the end.
+//
+//	allocbench -tenants 8 -conns 2 -tasks 5000                # in-process
+//	allocbench -addr 127.0.0.1:9200 -tenants 8 -tasks 5000    # against allocd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "allocd address (empty = run an in-process server)")
+		tenants    = flag.Int("tenants", 8, "concurrent tenants")
+		conns      = flag.Int("conns", 2, "connections per tenant")
+		tasks      = flag.Int("tasks", 5000, "tasks per connection")
+		algName    = flag.String("algorithm", string(allocator.Exhaustive), "allocation algorithm for new tenants")
+		seed       = flag.Uint64("seed", 42, "base random seed")
+		maxRecords = flag.Int("max-records", 4096, "in-process server record ceiling (ignored with -addr)")
+	)
+	flag.Parse()
+
+	if _, err := allocator.ParseName(*algName); err != nil {
+		fatal(err)
+	}
+
+	target := *addr
+	if target == "" {
+		s := serve.NewServer(serve.WithMaxRecords(*maxRecords))
+		bound, err := s.Listen("127.0.0.1:0")
+		fatalIf(err)
+		defer s.Close()
+		target = bound
+		fmt.Printf("allocbench: in-process server on %s\n", bound)
+	}
+
+	var (
+		wg         sync.WaitGroup
+		allocs     atomic.Int64 // allocate round-trips served
+		retries    atomic.Int64
+		firstErr   atomic.Value
+		totalConns = *tenants * *conns
+	)
+	start := time.Now()
+	for ti := 0; ti < *tenants; ti++ {
+		tenant := fmt.Sprintf("bench-%02d", ti)
+		for ci := 0; ci < *conns; ci++ {
+			wg.Add(1)
+			go func(tenant string, ti, ci int) {
+				defer wg.Done()
+				c, err := serve.Dial(target, tenant, *algName, *seed+uint64(ti))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				defer c.Close()
+				drive := rand.New(rand.NewPCG(*seed+uint64(ti), uint64(ci)))
+				for task := 0; task < *tasks; task++ {
+					id := ci**tasks + task
+					cat := [2]string{"preproc", "fit"}[id%2]
+					peak := resources.New(
+						1+3*drive.Float64(),
+						200+3000*drive.Float64(),
+						100+800*drive.Float64(),
+						10+50*drive.Float64(),
+					)
+					if drive.Float64() < 0.3 {
+						peak = peak.Scale(4)
+					}
+					alloc, err := c.Allocate(cat, id)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					allocs.Add(1)
+					for hop := 0; hop < 64; hop++ {
+						var exceeded []resources.Kind
+						for _, k := range resources.AllocatedKinds() {
+							if peak.Get(k) > alloc.Get(k) {
+								exceeded = append(exceeded, k)
+							}
+						}
+						if len(exceeded) == 0 {
+							break
+						}
+						alloc, err = c.Retry(cat, id, alloc, exceeded)
+						if err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+						retries.Add(1)
+					}
+					if err := c.Observe(cat, id, peak, 10+50*drive.Float64()); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+				if _, err := c.Stats(); err != nil { // barrier: all observes applied
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}(tenant, ti, ci)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		fatal(err)
+	}
+
+	n := allocs.Load()
+	fmt.Printf("allocbench: %d allocations (+%d retries) across %d tenants x %d conns in %s\n",
+		n, retries.Load(), *tenants, *conns, elapsed.Round(time.Millisecond))
+	fmt.Printf("allocbench: %.0f allocs/sec sustained over %d connections\n",
+		float64(n)/elapsed.Seconds(), totalConns)
+
+	// Final per-tenant counters, fetched over a fresh connection per tenant.
+	rows := make([]string, 0, *tenants)
+	for ti := 0; ti < *tenants; ti++ {
+		tenant := fmt.Sprintf("bench-%02d", ti)
+		c, err := serve.Dial(target, tenant, *algName, 0)
+		if err != nil {
+			continue
+		}
+		if st, err := c.Stats(); err == nil {
+			rows = append(rows, fmt.Sprintf("  %s: allocates=%d retries=%d observes=%d decays=%d records=%d",
+				st.Tenant, st.Allocates, st.Retries, st.Observes, st.Decays, st.Records))
+		}
+		c.Close()
+	}
+	if len(rows) > 0 {
+		fmt.Println("allocbench: tenant counters:")
+		fmt.Println(strings.Join(rows, "\n"))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "allocbench:", err)
+	os.Exit(1)
+}

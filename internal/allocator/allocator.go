@@ -311,6 +311,22 @@ func (a *Allocator) clamp(k resources.Kind, v float64) float64 {
 	return v
 }
 
+// ResetCategory drops every record observed for a category, returning it to
+// the exploratory mode with fresh estimator state. Long-lived callers (the
+// allocator service) use it to bound per-category memory: reset, then replay
+// a retained window of recent observations, so the record list never grows
+// without bound. Unknown categories are a no-op. The shared RNG stream is
+// not rewound, so a reset changes subsequent probabilistic bucket choices —
+// callers that need bit-reproducible streams must not reset mid-stream.
+func (a *Allocator) ResetCategory(category string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.IgnoreCategories {
+		category = ""
+	}
+	delete(a.cats, category)
+}
+
 // Records returns the number of records observed for a category. Every kind
 // of a category sees the same observations, so the count is read from the
 // first allocated kind in canonical order — not from a map iteration, whose

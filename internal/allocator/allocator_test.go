@@ -239,3 +239,49 @@ func TestMustNewPanics(t *testing.T) {
 	}()
 	MustNew(Name("bad"), Config{})
 }
+
+func TestResetCategoryDropsRecords(t *testing.T) {
+	a := MustNew(Exhaustive, Config{Seed: 11})
+	peak := resources.New(0.5, 200, 50, 0).With(resources.Time, 30)
+	for i := 1; i <= 15; i++ {
+		a.Observe("hot", i, peak, 30)
+		a.Observe("cold", i, peak, 30)
+	}
+	if got := a.Records("hot"); got != 15 {
+		t.Fatalf("records before reset = %d", got)
+	}
+	a.ResetCategory("hot")
+	if got := a.Records("hot"); got != 0 {
+		t.Errorf("records after reset = %d, want 0", got)
+	}
+	// The other category is untouched, and the reset category is back in
+	// exploratory mode.
+	if got := a.Records("cold"); got != 15 {
+		t.Errorf("unrelated category lost records: %d", got)
+	}
+	if alloc := a.Allocate("hot", 16); alloc.Get(resources.Memory) != 1024 {
+		t.Errorf("post-reset allocation = %v, want exploratory 1024 MB", alloc.Get(resources.Memory))
+	}
+	// Replaying a window of observations rebuilds steady state.
+	for i := 6; i <= 15; i++ {
+		a.Observe("hot", i, peak, 30)
+	}
+	if alloc := a.Allocate("hot", 17); alloc.Get(resources.Memory) != 200 {
+		t.Errorf("replayed allocation = %v, want 200", alloc.Get(resources.Memory))
+	}
+	// Resetting an unknown category is a no-op.
+	a.ResetCategory("never-seen")
+}
+
+func TestResetCategoryIgnoreCategoriesPools(t *testing.T) {
+	a := MustNew(Exhaustive, Config{Seed: 12, IgnoreCategories: true})
+	peak := resources.New(0.5, 200, 50, 0).With(resources.Time, 30)
+	for i := 1; i <= 5; i++ {
+		a.Observe("x", i, peak, 30)
+	}
+	// Pooled state: resetting via any category name clears the shared list.
+	a.ResetCategory("y")
+	if got := a.Records("x"); got != 0 {
+		t.Errorf("pooled records after reset = %d, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math/bits"
 	"sort"
 
 	"dynalloc/internal/resources"
@@ -39,9 +40,31 @@ func (r *Reservoir) Observe(v float64) {
 	}
 	// Keep the new value with probability capacity/seen: draw a uniform
 	// index in [0, seen) and replace only when it lands in the sample.
-	if j := r.next() % r.seen; j < uint64(r.capacity) {
+	if j := r.draw(r.seen); j < uint64(r.capacity) {
 		r.vals[j] = v
 	}
+}
+
+// draw returns a uniform value in [0, bound) via Lemire's nearly-divisionless
+// bounded draw: take the high 64 bits of a 64×64→128 multiply, rejecting the
+// few raw values whose low half falls in the partial interval. A plain
+// `next() % bound` over-weights the first 2^64 mod bound indices whenever
+// bound is not a power of two, which would bias replacement toward the front
+// of the sample and skew the reported quantiles.
+func (r *Reservoir) draw(bound uint64) uint64 {
+	x := r.next()
+	hi, lo := bits.Mul64(x, bound)
+	if lo < bound {
+		// Only computed on the rare partial-interval hit: threshold is
+		// 2^64 mod bound, the count of raw values that must be rejected for
+		// every residue class to be hit equally often.
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.next()
+			hi, lo = bits.Mul64(x, bound)
+		}
+	}
+	return hi
 }
 
 // next advances the splitmix64 state.

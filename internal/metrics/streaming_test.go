@@ -60,6 +60,65 @@ func TestReservoirUniformish(t *testing.T) {
 	}
 }
 
+// TestReservoirDrawUniform pins the bounded draw with a chi-square test over
+// a bound that is not a power of two — the case where the old
+// `next() % bound` draw was modulo-biased. The statistic is compared against
+// the Wilson–Hilferty approximation of the chi-square critical value at
+// p ≈ 0.001, so a correct implementation fails with probability ~1e-3 only
+// under an unlucky fixed seed — and the seed is fixed, so the test is
+// deterministic: it was observed to pass, and stays passing.
+func TestReservoirDrawUniform(t *testing.T) {
+	const (
+		bound = 1000 // not a power of two
+		n     = 1_000_000
+	)
+	for _, seed := range []uint64{1, 42} {
+		r := NewReservoir(1, seed)
+		counts := make([]int, bound)
+		for i := 0; i < n; i++ {
+			j := r.draw(bound)
+			if j >= bound {
+				t.Fatalf("draw(%d) = %d out of range", bound, j)
+			}
+			counts[j]++
+		}
+		expected := float64(n) / bound
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// Wilson–Hilferty: chi2_crit ≈ df·(1 - 2/(9df) + z·sqrt(2/(9df)))^3
+		// with z = 3.09 (p ≈ 0.001) and df = bound-1.
+		df := float64(bound - 1)
+		h := 2.0 / (9.0 * df)
+		crit := df * math.Pow(1-h+3.09*math.Sqrt(h), 3)
+		if chi2 > crit {
+			t.Errorf("seed %d: chi-square %.1f over critical %.1f; draw is not uniform", seed, chi2, crit)
+		}
+	}
+}
+
+// TestReservoirDrawSmallBounds: every residue is reachable and in range for
+// tiny and awkward bounds, including bound 1 (always 0) and a bound just
+// past a power of two.
+func TestReservoirDrawSmallBounds(t *testing.T) {
+	r := NewReservoir(1, 9)
+	for _, bound := range []uint64{1, 2, 3, 5, 7, 129} {
+		seen := make(map[uint64]bool)
+		for i := 0; i < 20000; i++ {
+			j := r.draw(bound)
+			if j >= bound {
+				t.Fatalf("draw(%d) = %d out of range", bound, j)
+			}
+			seen[j] = true
+		}
+		if uint64(len(seen)) != bound {
+			t.Errorf("draw(%d) hit only %d residues", bound, len(seen))
+		}
+	}
+}
+
 func TestReservoirQuantile(t *testing.T) {
 	r := NewReservoir(1000, 5)
 	for i := 1; i <= 1000; i++ {

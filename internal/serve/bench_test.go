@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/resources"
+)
+
+// benchServeThroughput measures sustained service throughput: `tenants`
+// isolated tenants, `connsPerTenant` connections each, every connection
+// streaming allocation requests (with a 25% observe mix so the estimators
+// keep learning) as fast as the service answers. Record decay is on, so the
+// per-op cost is the steady state a long-lived deployment sees, not an
+// ever-growing record list. The headline metric is allocs/sec — total
+// allocation round-trips per second across all tenants.
+func benchServeThroughput(b *testing.B, tenants, connsPerTenant int) {
+	s := NewServer(WithMaxRecords(512))
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	clients := make([]*Client, 0, tenants*connsPerTenant)
+	for ti := 0; ti < tenants; ti++ {
+		name := fmt.Sprintf("bench-%02d", ti)
+		for ci := 0; ci < connsPerTenant; ci++ {
+			c, err := Dial(addr, name, string(allocator.Exhaustive), uint64(ti))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			clients = append(clients, c)
+		}
+	}
+	// Warm every tenant out of exploratory mode so the steady-state
+	// prediction path, not the fixed exploration constant, is measured.
+	for i := 0; i < len(clients); i += connsPerTenant {
+		c := clients[i]
+		for task := 1; task <= 20; task++ {
+			if err := c.Observe("fit", task, resources.New(2, 1000, 300, 30), 30); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := c.Stats(); err != nil { // barrier: observes applied
+			b.Fatal(err)
+		}
+	}
+
+	var nextClient atomic.Uint64
+	var taskID atomic.Int64
+	taskID.Store(1000)
+	b.ReportAllocs()
+	// One worker goroutine per connection regardless of GOMAXPROCS, so the
+	// concurrency under test is the client fleet, not the core count.
+	procs := runtime.GOMAXPROCS(0)
+	b.SetParallelism((len(clients) + procs - 1) / procs)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := clients[nextClient.Add(1)%uint64(len(clients))]
+		for pb.Next() {
+			task := int(taskID.Add(1))
+			alloc, err := c.Allocate("fit", task)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if task%4 == 0 {
+				if err := c.Observe("fit", task, alloc.Scale(0.5), 30); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "allocs/sec")
+}
+
+// BenchmarkServe8Tenants is the headline service number recorded in
+// BENCH_serve.json by `make serve-bench`: sustained allocation throughput
+// across 8 concurrent tenants.
+func BenchmarkServe8Tenants(b *testing.B) { benchServeThroughput(b, 8, 2) }
+
+// BenchmarkServe16Tenants doubles the tenant count to show throughput holds
+// as isolated tenants are added.
+func BenchmarkServe16Tenants(b *testing.B) { benchServeThroughput(b, 16, 2) }
+
+// BenchmarkServe1Tenant is the single-stream baseline: one tenant, one
+// connection, request/response in lockstep — the protocol floor.
+func BenchmarkServe1Tenant(b *testing.B) { benchServeThroughput(b, 1, 1) }

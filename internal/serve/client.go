@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"dynalloc/internal/resources"
+)
+
+// ErrDraining reports that the server announced shutdown; no further frames
+// will be answered on this connection.
+var ErrDraining = errors.New("serve: server draining")
+
+// Client is a connection to an allocator service, registered to one tenant.
+// It is safe for concurrent use: calls carry sequence numbers and a reader
+// goroutine routes each response to its waiting caller, so many goroutines
+// can have requests in flight on the one connection.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	sendMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan Frame
+	err     error // terminal error once the reader exits
+	done    chan struct{}
+}
+
+// Dial connects to an allocator service at addr and registers tenant with
+// the given algorithm (empty = the service default) and seed. If the tenant
+// already exists on the server, the connection attaches to its live state
+// and algorithm/seed are ignored.
+func Dial(addr, tenant, algorithm string, seed uint64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		nextSeq: 1,
+		pending: make(map[uint64]chan Frame),
+		done:    make(chan struct{}),
+	}
+	// Register synchronously before the reader goroutine exists: the ack is
+	// the first frame the server sends, so a plain decode is race-free here.
+	reg := Frame{Type: TypeRegister, Seq: 0, Tenant: tenant, Algorithm: algorithm, Seed: seed}
+	if err := c.enc.Encode(reg); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: register: %w", err)
+	}
+	dec := json.NewDecoder(conn)
+	var ack Frame
+	if err := dec.Decode(&ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: register: %w", err)
+	}
+	switch ack.Type {
+	case TypeAck:
+	case TypeError:
+		conn.Close()
+		return nil, fmt.Errorf("serve: register rejected: %s", ack.Error)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: unexpected register response %q", ack.Type)
+	}
+	go c.readLoop(dec)
+	return c, nil
+}
+
+// readLoop routes response frames to waiting callers until the connection
+// dies or the server drains.
+func (c *Client) readLoop(dec *json.Decoder) {
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			c.fail(fmt.Errorf("serve: connection lost: %w", err))
+			return
+		}
+		if f.Type == TypeDrain {
+			c.fail(ErrDraining)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.Seq]
+		if ok {
+			delete(c.pending, f.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// fail marks the client dead and wakes every pending caller.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	c.pending = make(map[uint64]chan Frame)
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// call sends a frame stamped with a fresh Seq and waits for its response.
+func (c *Client) call(f Frame) (Frame, error) {
+	ch := make(chan Frame, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Frame{}, err
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	f.Seq = seq
+	c.sendMu.Lock()
+	err := c.enc.Encode(f)
+	c.sendMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return Frame{}, fmt.Errorf("serve: send: %w", err)
+	}
+
+	select {
+	case resp := <-ch:
+		if resp.Type == TypeError {
+			return Frame{}, fmt.Errorf("serve: %s", resp.Error)
+		}
+		return resp, nil
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return Frame{}, err
+	}
+}
+
+// Allocate requests a first-attempt prediction for a task.
+func (c *Client) Allocate(category string, taskID int) (resources.Vector, error) {
+	resp, err := c.call(Frame{Type: TypeRequest, Category: category, TaskID: taskID})
+	if err != nil {
+		return resources.Vector{}, err
+	}
+	return resp.Alloc, nil
+}
+
+// Retry requests an escalated prediction after an attempt that exhausted the
+// given resource kinds under allocation prev.
+func (c *Client) Retry(category string, taskID int, prev resources.Vector, exceeded []resources.Kind) (resources.Vector, error) {
+	names := make([]string, len(exceeded))
+	for i, k := range exceeded {
+		names[i] = k.String()
+	}
+	resp, err := c.call(Frame{Type: TypeRetry, Category: category, TaskID: taskID, Prev: prev, Exceeded: names})
+	if err != nil {
+		return resources.Vector{}, err
+	}
+	return resp.Alloc, nil
+}
+
+// Observe reports a completed task's peak usage and runtime. It is one-way:
+// the server applies observations in connection order, so a later Allocate
+// on this client is guaranteed to see it.
+func (c *Client) Observe(category string, taskID int, peak resources.Vector, runtime float64) error {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
+	c.sendMu.Lock()
+	err := c.enc.Encode(Frame{Type: TypeObserve, Category: category, TaskID: taskID, Peak: peak, Runtime: runtime})
+	c.sendMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("serve: send: %w", err)
+	}
+	return nil
+}
+
+// Ping round-trips a liveness frame.
+func (c *Client) Ping() error {
+	_, err := c.call(Frame{Type: TypePing})
+	return err
+}
+
+// Stats fetches the tenant's counter snapshot. Because it round-trips after
+// any previously sent observes on this connection, it doubles as a barrier:
+// the returned counts include everything this client sent before the call.
+func (c *Client) Stats() (TenantStats, error) {
+	resp, err := c.call(Frame{Type: TypeStats})
+	if err != nil {
+		return TenantStats{}, err
+	}
+	if resp.Stats == nil {
+		return TenantStats{}, fmt.Errorf("serve: stats response missing payload")
+	}
+	return *resp.Stats, nil
+}
+
+// Close hangs up. Pending calls fail with a connection-lost error.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}

@@ -1,0 +1,103 @@
+// Package serve is the allocator-as-a-service front end: a long-lived
+// concurrent TCP service that wraps allocator.Allocator for many independent
+// workflows (tenants) at once. Each tenant gets isolated per-category
+// record.List/bucketing state behind its own allocator instance and its own
+// lock, so one tenant's slow bucketing recompute never blocks another's
+// predictions; within a tenant, observations are O(1) appends and
+// predictions recompute lazily from record.View snapshots, inheriting the
+// embedded allocator's snapshot-read model. Long-lived tenants stay
+// memory-bounded through record decay: once a category accumulates
+// MaxRecords observations, the service resets it and replays only the most
+// recent DecayWindow records (Section V-A's recency weighting makes the old
+// tail nearly weightless anyway).
+//
+// The wire protocol follows internal/wq's style: one JSON object per line
+// over TCP. A connection registers a tenant first, then streams
+// request/retry/observe/ping/stats frames; request, retry, ping, and stats
+// carry a client-chosen Seq echoed in the response. Observations are
+// one-way — the per-connection ordering guarantees they are applied before
+// any later request on the same connection. The server's Close mirrors
+// wq.Manager.Close: stop accepting, notify every client with a drain frame,
+// and give in-flight connections a bounded grace period to finish.
+package serve
+
+import (
+	"dynalloc/internal/resources"
+)
+
+// Frame is the single message type of the service protocol; Type selects
+// which fields are meaningful.
+type Frame struct {
+	Type string `json:"type"`
+
+	// Seq correlates a request with its response on frames that have one
+	// (request, retry, ping, stats). Chosen by the client, echoed verbatim.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// register (client -> server)
+	Tenant    string `json:"tenant,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"` // empty = exhaustive-bucketing
+	Seed      uint64 `json:"seed,omitempty"`
+
+	// request / retry / observe (client -> server)
+	Category string `json:"category,omitempty"`
+	TaskID   int    `json:"task_id,omitempty"`
+
+	// retry (client -> server)
+	Prev     resources.Vector `json:"prev,omitempty"`
+	Exceeded []string         `json:"exceeded,omitempty"`
+
+	// observe (client -> server)
+	Peak    resources.Vector `json:"peak,omitempty"`
+	Runtime float64          `json:"runtime,omitempty"`
+
+	// alloc (server -> client): the prediction for a request or retry.
+	Alloc resources.Vector `json:"alloc,omitempty"`
+
+	// stats (server -> client)
+	Stats *TenantStats `json:"stats,omitempty"`
+
+	// error (server -> client): a failed frame; Seq echoes the offender
+	// when it carried one.
+	Error string `json:"error,omitempty"`
+}
+
+// Frame types. Client to server: register, request, retry, observe, ping,
+// stats. Server to client: ack (register accepted), alloc, pong, stats,
+// error, drain.
+const (
+	TypeRegister = "register"
+	TypeRequest  = "request"
+	TypeRetry    = "retry"
+	TypeObserve  = "observe"
+	TypePing     = "ping"
+	TypeStats    = "stats"
+
+	TypeAck   = "ack"
+	TypeAlloc = "alloc"
+	TypePong  = "pong"
+	TypeError = "error"
+	// TypeDrain tells the client the server is closing: no further frames
+	// will be answered, finish up and disconnect.
+	TypeDrain = "drain"
+)
+
+// TenantStats is a point-in-time snapshot of one tenant's service counters,
+// returned by the stats frame and by Server.Stats.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Connections currently registered to this tenant.
+	Connections int `json:"connections"`
+	// Allocates / Retries / Observes count frames served over the tenant's
+	// lifetime (across connections, surviving reconnects).
+	Allocates int64 `json:"allocates"`
+	Retries   int64 `json:"retries"`
+	Observes  int64 `json:"observes"`
+	// Decays counts category resets performed by the record-decay policy.
+	Decays int64 `json:"decays"`
+	// Categories is the number of distinct task categories observed.
+	Categories int `json:"categories"`
+	// Records is the current record count summed over categories — bounded
+	// by categories × MaxRecords when decay is enabled.
+	Records int `json:"records"`
+}

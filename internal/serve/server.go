@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/resources"
+)
+
+// ErrServerClosed reports that the server was (or is being) closed.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Server is the multi-tenant allocator service: it accepts client
+// connections, routes each connection's frames to its registered tenant, and
+// keeps every tenant's allocator state isolated. It is safe for concurrent
+// use; every connection is served by its own goroutine and tenants share no
+// state with each other.
+type Server struct {
+	mu      sync.Mutex
+	ln      net.Listener
+	tenants map[string]*tenant
+	conns   map[*serverConn]struct{}
+	closed  bool
+
+	// options
+	maxRecords   int
+	decayWindow  int
+	tenantTTL    time.Duration
+	drainTimeout time.Duration
+
+	sweepDone chan struct{}
+	sweepWG   sync.WaitGroup
+	connWG    sync.WaitGroup
+
+	tenantsEvicted int64
+}
+
+type serverConn struct {
+	conn   net.Conn
+	enc    *json.Encoder
+	sendMu sync.Mutex
+	tenant *tenant // nil until the register frame lands
+}
+
+func (c *serverConn) send(f Frame) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.enc.Encode(f)
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxRecords bounds per-category memory: once a tenant's category
+// accumulates n records it is reset and rebuilt from the most recent
+// DecayWindow observations. Zero (the default) disables decay, matching the
+// embedded allocator exactly — required for byte-identical parity streams.
+func WithMaxRecords(n int) ServerOption {
+	return func(s *Server) { s.maxRecords = n }
+}
+
+// WithDecayWindow sets how many recent observations survive a decay reset.
+// Zero defaults to half of MaxRecords.
+func WithDecayWindow(n int) ServerOption {
+	return func(s *Server) { s.decayWindow = n }
+}
+
+// WithTenantTTL enables tenant eviction: a tenant with no registered
+// connections and no frame served for d is dropped entirely, freeing its
+// record state. Zero (the default) keeps idle tenants forever so a client
+// may reconnect and continue its learned stream.
+func WithTenantTTL(d time.Duration) ServerOption {
+	return func(s *Server) { s.tenantTTL = d }
+}
+
+// WithServerDrainTimeout bounds how long Close waits for in-flight
+// connections after sending them drain frames. The default is 5s.
+func WithServerDrainTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.drainTimeout = d }
+}
+
+// NewServer creates an allocator service.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		tenants:      make(map[string]*tenant),
+		conns:        make(map[*serverConn]struct{}),
+		drainTimeout: 5 * time.Second,
+		sweepDone:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.maxRecords > 0 && s.decayWindow <= 0 {
+		s.decayWindow = s.maxRecords / 2
+	}
+	if s.decayWindow >= s.maxRecords && s.maxRecords > 0 {
+		// The replayed window must be strictly smaller than the trigger or
+		// a decay would immediately re-trigger on the next observation.
+		s.decayWindow = s.maxRecords - 1
+	}
+	return s
+}
+
+// Listen starts accepting clients on addr (e.g. "127.0.0.1:0") and returns
+// the bound address. When a tenant TTL is configured the eviction sweeper
+// starts alongside the accept loop.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	if s.tenantTTL > 0 {
+		s.sweepWG.Add(1)
+		go s.sweepLoop()
+	}
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c := &serverConn{conn: conn, enc: json.NewEncoder(conn)}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// sweepLoop evicts tenants that have been idle (no connections, no frames)
+// past the TTL, bounding total memory across tenant churn the way the decay
+// window bounds it within a tenant.
+func (s *Server) sweepLoop() {
+	defer s.sweepWG.Done()
+	ticker := time.NewTicker(s.tenantTTL / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.sweepDone:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		for name, t := range s.tenants {
+			t.mu.Lock()
+			idle := t.refs == 0 && now.Sub(t.lastActive) > s.tenantTTL
+			t.mu.Unlock()
+			if idle {
+				delete(s.tenants, name)
+				s.tenantsEvicted++
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// register resolves or creates the tenant for a connection's first frame.
+// Re-registering an existing tenant attaches to its live state (algorithm
+// and seed of the first registration win), so reconnecting clients continue
+// the learned stream.
+func (s *Server) register(f Frame) (*tenant, error) {
+	if f.Tenant == "" {
+		return nil, fmt.Errorf("serve: register frame without tenant name")
+	}
+	algName := f.Algorithm
+	if algName == "" {
+		algName = string(allocator.Exhaustive)
+	}
+	alg, err := allocator.ParseName(algName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrServerClosed
+	}
+	t, ok := s.tenants[f.Tenant]
+	if !ok {
+		t, err = newTenant(f.Tenant, alg, f.Seed, s.maxRecords, s.decayWindow)
+		if err != nil {
+			return nil, err
+		}
+		s.tenants[f.Tenant] = t
+	}
+	t.mu.Lock()
+	t.refs++
+	t.lastActive = time.Now()
+	t.mu.Unlock()
+	return t, nil
+}
+
+func (s *Server) serveConn(c *serverConn) {
+	defer s.connWG.Done()
+	defer c.conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		if c.tenant != nil {
+			c.tenant.mu.Lock()
+			c.tenant.refs--
+			c.tenant.lastActive = time.Now()
+			c.tenant.mu.Unlock()
+		}
+	}()
+
+	dec := json.NewDecoder(c.conn)
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		if c.tenant == nil {
+			// The first frame must register a tenant; anything else is a
+			// protocol error the client can read before we hang up.
+			if f.Type != TypeRegister {
+				_ = c.send(Frame{Type: TypeError, Seq: f.Seq,
+					Error: fmt.Sprintf("first frame must be %q, got %q", TypeRegister, f.Type)})
+				return
+			}
+			t, err := s.register(f)
+			if err != nil {
+				_ = c.send(Frame{Type: TypeError, Seq: f.Seq, Error: err.Error()})
+				return
+			}
+			c.tenant = t
+			if err := c.send(Frame{Type: TypeAck, Seq: f.Seq, Tenant: t.name, Algorithm: string(t.alg)}); err != nil {
+				return
+			}
+			continue
+		}
+		if err := s.handleFrame(c, f); err != nil {
+			return
+		}
+	}
+}
+
+// handleFrame serves one post-registration frame. A returned error means the
+// connection is beyond saving (write failed); protocol-level problems are
+// reported to the client as error frames instead.
+func (s *Server) handleFrame(c *serverConn, f Frame) error {
+	t := c.tenant
+	switch f.Type {
+	case TypeRequest:
+		return c.send(Frame{Type: TypeAlloc, Seq: f.Seq, Alloc: t.allocate(f.Category, f.TaskID)})
+	case TypeRetry:
+		exceeded := make([]resources.Kind, 0, len(f.Exceeded))
+		for _, name := range f.Exceeded {
+			k, err := resources.ParseKind(name)
+			if err != nil {
+				return c.send(Frame{Type: TypeError, Seq: f.Seq, Error: err.Error()})
+			}
+			exceeded = append(exceeded, k)
+		}
+		return c.send(Frame{Type: TypeAlloc, Seq: f.Seq, Alloc: t.retry(f.Category, f.TaskID, f.Prev, exceeded)})
+	case TypeObserve:
+		t.observe(f.Category, f.TaskID, f.Peak, f.Runtime)
+		return nil
+	case TypePing:
+		return c.send(Frame{Type: TypePong, Seq: f.Seq})
+	case TypeStats:
+		snap := t.snapshot()
+		return c.send(Frame{Type: TypeStats, Seq: f.Seq, Stats: &snap})
+	case TypeRegister:
+		return c.send(Frame{Type: TypeError, Seq: f.Seq, Error: "connection already registered"})
+	default:
+		return c.send(Frame{Type: TypeError, Seq: f.Seq, Error: fmt.Sprintf("unknown frame type %q", f.Type)})
+	}
+}
+
+// Tenants returns the number of live tenants.
+func (s *Server) Tenants() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tenants)
+}
+
+// TenantsEvicted returns how many idle tenants the TTL sweeper dropped.
+func (s *Server) TenantsEvicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantsEvicted
+}
+
+// Stats returns a snapshot of every live tenant's counters, sorted by
+// tenant name.
+func (s *Server) Stats() []TenantStats {
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	out := make([]TenantStats, 0, len(tenants))
+	for _, t := range tenants {
+		out = append(out, t.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Close gracefully drains the service, mirroring wq.Manager.Close: stop
+// accepting, tell every connected client to finish with a drain frame, wait
+// for connections to hang up within the drain timeout, then force-close the
+// stragglers. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	close(s.sweepDone)
+	s.sweepWG.Wait()
+
+	for _, c := range conns {
+		// A failed drain write means the client is already gone; its
+		// connection goroutine is unwinding on its own.
+		_ = c.send(Frame{Type: TypeDrain})
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.drainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/resources"
+)
+
+// TestServeStress hammers one server with many tenants, several connections
+// per tenant, and mixed allocate/retry/observe/stats traffic while
+// connections join and leave mid-stream. Run under -race (the Makefile's
+// race target does) it is the service's data-race detector; the final stats
+// assertion catches lost updates either way.
+func TestServeStress(t *testing.T) {
+	tenants := 10
+	connsPerTenant := 3
+	opsPerConn := 400
+	if testing.Short() {
+		tenants, connsPerTenant, opsPerConn = 4, 2, 100
+	}
+
+	s, addr := startServer(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants*connsPerTenant)
+
+	for ti := 0; ti < tenants; ti++ {
+		name := fmt.Sprintf("tenant-%02d", ti)
+		for ci := 0; ci < connsPerTenant; ci++ {
+			wg.Add(1)
+			go func(tenant string, ti, ci int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(ti), uint64(ci)))
+				c, err := Dial(addr, tenant, string(allocator.Exhaustive), uint64(ti))
+				if err != nil {
+					errCh <- fmt.Errorf("%s/%d dial: %w", tenant, ci, err)
+					return
+				}
+				defer c.Close()
+				for op := 0; op < opsPerConn; op++ {
+					// Leave and rejoin mid-stream on a small fraction of ops,
+					// exercising tenant refs and reattachment under load.
+					if rng.Float64() < 0.01 {
+						c.Close()
+						c, err = Dial(addr, tenant, string(allocator.Exhaustive), uint64(ti))
+						if err != nil {
+							errCh <- fmt.Errorf("%s/%d rejoin: %w", tenant, ci, err)
+							return
+						}
+					}
+					cat := fmt.Sprintf("cat-%d", op%3)
+					task := ci*opsPerConn + op
+					switch {
+					case rng.Float64() < 0.5:
+						alloc, err := c.Allocate(cat, task)
+						if err != nil {
+							errCh <- fmt.Errorf("%s/%d allocate: %w", tenant, ci, err)
+							return
+						}
+						if rng.Float64() < 0.3 {
+							if _, err := c.Retry(cat, task, alloc, []resources.Kind{resources.Memory}); err != nil {
+								errCh <- fmt.Errorf("%s/%d retry: %w", tenant, ci, err)
+								return
+							}
+						}
+					case rng.Float64() < 0.9:
+						peak := resources.New(1+rng.Float64()*4, 100+rng.Float64()*3000, 50, 5)
+						if err := c.Observe(cat, task, peak, 5); err != nil {
+							errCh <- fmt.Errorf("%s/%d observe: %w", tenant, ci, err)
+							return
+						}
+					default:
+						if _, err := c.Stats(); err != nil {
+							errCh <- fmt.Errorf("%s/%d stats: %w", tenant, ci, err)
+							return
+						}
+					}
+				}
+				// Flush: a stats round-trip barriers all observes sent above.
+				if _, err := c.Stats(); err != nil {
+					errCh <- fmt.Errorf("%s/%d final stats: %w", tenant, ci, err)
+				}
+			}(name, ti, ci)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	stats := s.Stats()
+	if len(stats) != tenants {
+		t.Fatalf("%d tenants in stats, want %d", len(stats), tenants)
+	}
+	for _, st := range stats {
+		total := st.Allocates + st.Retries + st.Observes
+		if total == 0 {
+			t.Errorf("%s served no frames", st.Tenant)
+		}
+		if st.Categories == 0 && st.Observes > 0 {
+			t.Errorf("%s: observes recorded but no categories", st.Tenant)
+		}
+	}
+}
+
+// TestServeStressWithDecayAndTTL layers the memory-bounding features on top
+// of concurrent load: record decay active on every tenant and the TTL
+// sweeper running throughout. Catches races between decay replay, eviction,
+// and live traffic.
+func TestServeStressWithDecayAndTTL(t *testing.T) {
+	tenants, ops := 8, 300
+	if testing.Short() {
+		tenants, ops = 4, 80
+	}
+	s, addr := startServer(t,
+		WithMaxRecords(40), WithDecayWindow(20), WithTenantTTL(10*time.Millisecond))
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			c, err := Dial(addr, fmt.Sprintf("decay-%d", ti), string(allocator.MaxSeen), uint64(ti))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < ops; i++ {
+				if err := c.Observe("c", i, resources.New(1, float64(100+i), 10, 1), 1); err != nil {
+					errCh <- err
+					return
+				}
+				if i%7 == 0 {
+					if _, err := c.Allocate("c", i); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+			st, err := c.Stats()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if st.Records > 40 {
+				errCh <- fmt.Errorf("tenant %d: %d records exceed decay bound", ti, st.Records)
+			}
+			if st.Decays == 0 {
+				errCh <- fmt.Errorf("tenant %d: decay never fired over %d observes", ti, ops)
+			}
+		}(ti)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		// Drained/lost connections are real failures here; the server stays
+		// up for the whole test.
+		if errors.Is(err, ErrDraining) || strings.Contains(err.Error(), "connection lost") {
+			t.Errorf("connection dropped under load: %v", err)
+		} else {
+			t.Error(err)
+		}
+	}
+	_ = s // cleanup via startServer
+}

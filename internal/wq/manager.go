@@ -46,6 +46,11 @@ type Manager struct {
 	nextTID int // highest task ID ever registered, on any path
 	closed  bool
 
+	// aliveHead/aliveTail chain connected workers in ascending-ID (= join)
+	// order, so dispatch scans only live workers instead of every ID ever
+	// issued — the scan set shrinks with churn instead of growing with it.
+	aliveHead, aliveTail *managedWorker
+
 	stats     Stats
 	perWorker map[int]*WorkerStats
 
@@ -70,6 +75,10 @@ type managedWorker struct {
 	running  map[int]resources.Vector // task ID -> allocation held
 	alive    bool
 	lastSeen time.Time // guarded by Manager.mu
+
+	// prev/next link the alive-worker chain in ascending-ID order; nil for a
+	// worker that has been evicted (or never joined). Guarded by Manager.mu.
+	prev, next *managedWorker
 }
 
 func (w *managedWorker) send(m Message) error {
@@ -86,6 +95,14 @@ type taskState struct {
 	done     bool
 	failed   bool                     // done because the retry budget ran out
 	notify   chan metrics.TaskOutcome // non-nil for Submit-ted tasks
+
+	// owner is the ID of the worker currently running the task, or -1 when
+	// the task is queued, finished, or was never dispatched. A result frame
+	// is honored only when it comes from the owning worker: after an
+	// eviction requeues a task, a late result from the evicted worker must
+	// not append a phantom attempt or requeue a task that is already
+	// running elsewhere (which would double-dispatch it).
+	owner int
 }
 
 // Option configures a Manager.
@@ -104,9 +121,13 @@ func WithHeartbeat(interval, timeout time.Duration) Option {
 }
 
 // WithTaskTimeout is the legacy knob from the per-dispatch watchdog era; it
-// now configures the heartbeat sweeper so that a worker silent for d is
-// declared lost (interval d/4). Unlike the old watchdog, a healthy worker
-// running a task longer than d is never reaped — only silence kills.
+// now configures the heartbeat sweeper: the manager pings every worker each
+// d/4, any frame from the worker (pong or result) refreshes its last-seen
+// time, and a worker whose last frame is older than d at a sweep tick is
+// declared lost — so detection lands between d and d+d/4 after the last
+// frame, not per task. Unlike the old watchdog, a healthy worker running a
+// task longer than d is never reaped — only silence kills, and its
+// in-flight tasks requeue through the eviction path.
 func WithTaskTimeout(d time.Duration) Option {
 	return func(m *Manager) {
 		m.hbInterval = d / 4
@@ -199,22 +220,7 @@ func (m *Manager) serveWorker(conn net.Conn) {
 		m.mu.Unlock()
 		return
 	}
-	w := &managedWorker{
-		id:       m.nextWID,
-		conn:     conn,
-		enc:      json.NewEncoder(conn),
-		capacity: capacity,
-		running:  make(map[int]resources.Vector),
-		alive:    true,
-		lastSeen: time.Now(),
-	}
-	m.nextWID++
-	m.workers[w.id] = w
-	m.perWorker[w.id] = &WorkerStats{ID: w.id, Connected: true}
-	if len(m.workers) > m.stats.PeakWorkers {
-		m.stats.PeakWorkers = len(m.workers)
-	}
-	m.traceLocked(Event{Type: EventWorkerJoin, TaskID: -1, WorkerID: w.id})
+	w := m.addWorkerLocked(conn, json.NewEncoder(conn), capacity)
 	m.dispatchLocked()
 	m.mu.Unlock()
 
@@ -234,6 +240,35 @@ func (m *Manager) serveWorker(conn net.Conn) {
 		}
 	}
 	m.evict(w)
+}
+
+// addWorkerLocked registers a connected worker under the next worker ID and
+// appends it to the alive chain (IDs are monotonic, so appending keeps the
+// chain in ascending-ID order). Callers hold m.mu.
+func (m *Manager) addWorkerLocked(conn net.Conn, enc *json.Encoder, capacity resources.Vector) *managedWorker {
+	w := &managedWorker{
+		id:       m.nextWID,
+		conn:     conn,
+		enc:      enc,
+		capacity: capacity,
+		running:  make(map[int]resources.Vector),
+		alive:    true,
+		lastSeen: time.Now(),
+	}
+	m.nextWID++
+	m.workers[w.id] = w
+	if m.aliveTail == nil {
+		m.aliveHead, m.aliveTail = w, w
+	} else {
+		m.aliveTail.next, w.prev = w, m.aliveTail
+		m.aliveTail = w
+	}
+	m.perWorker[w.id] = &WorkerStats{ID: w.id, Connected: true}
+	if len(m.workers) > m.stats.PeakWorkers {
+		m.stats.PeakWorkers = len(m.workers)
+	}
+	m.traceLocked(Event{Type: EventWorkerJoin, TaskID: -1, WorkerID: w.id})
+	return w
 }
 
 // sweepLoop is the manager-side half of the heartbeat protocol: each tick it
@@ -294,6 +329,19 @@ func (m *Manager) evict(w *managedWorker) {
 	}
 	w.alive = false
 	delete(m.workers, w.id)
+	// Unlink from the alive chain; a worker staged by a test without joining
+	// has nil links and a head that isn't it, so this is a no-op for it.
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else if m.aliveHead == w {
+		m.aliveHead = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else if m.aliveTail == w {
+		m.aliveTail = w.prev
+	}
+	w.prev, w.next = nil, nil
 	ws := m.perWorker[w.id]
 	if ws != nil {
 		ws.Connected = false
@@ -312,6 +360,7 @@ func (m *Manager) evict(w *managedWorker) {
 		if !ok {
 			continue
 		}
+		st.owner = -1 // any later result from w for this task is stale
 		st.outcome.Attempts = append(st.outcome.Attempts, metrics.Attempt{
 			Alloc:  w.running[id],
 			Status: metrics.Evicted,
@@ -385,6 +434,20 @@ func (m *Manager) handleResult(w *managedWorker, res Message) {
 		m.mu.Unlock()
 		return
 	}
+	if st.owner != w.id {
+		// Stale result: the task is live but this worker no longer owns it —
+		// it was evicted and the task requeued (and possibly re-dispatched
+		// elsewhere). Honoring the frame would append a phantom attempt,
+		// escalate through policy.Retry, and requeue a task that may already
+		// be running on another worker — a double dispatch. Drop it.
+		m.stats.StaleResults++
+		m.traceLocked(Event{Type: EventStaleResult, TaskID: res.TaskID, WorkerID: w.id, Status: res.Status})
+		m.dispatchLocked()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	st.owner = -1
 	ws := m.perWorker[w.id]
 	m.traceLocked(Event{Type: EventResult, TaskID: res.TaskID, WorkerID: w.id, Status: res.Status})
 
@@ -471,12 +534,13 @@ func (m *Manager) dispatchLocked() {
 			alloc = m.policy.Allocate(st.task.Category, st.task.ID)
 		}
 		placed := false
-		for _, w := range m.sortedWorkers() {
-			if !w.alive || !fits(w, alloc) {
+		for w := m.aliveHead; w != nil; w = w.next {
+			if !fits(w, alloc) {
 				continue
 			}
 			st.alloc = alloc
 			st.hasAlloc = true
+			st.owner = w.id
 			w.used = w.used.Add(st.alloc.With(resources.Time, 0))
 			w.running[id] = st.alloc
 			m.stats.Dispatches++
@@ -516,12 +580,14 @@ func fits(w *managedWorker, alloc resources.Vector) bool {
 	return true
 }
 
+// sortedWorkers snapshots the alive chain in ascending-ID order. Cost is
+// O(connected workers); workers that ever connected but left cost nothing,
+// which matters under opportunistic churn where the set of IDs ever issued
+// dwarfs the live pool.
 func (m *Manager) sortedWorkers() []*managedWorker {
 	out := make([]*managedWorker, 0, len(m.workers))
-	for id := 0; id < m.nextWID; id++ {
-		if w, ok := m.workers[id]; ok {
-			out = append(out, w)
-		}
+	for w := m.aliveHead; w != nil; w = w.next {
+		out = append(out, w)
 	}
 	return out
 }
@@ -545,7 +611,7 @@ func (m *Manager) registerTaskLocked(t workflow.Task, notify chan metrics.TaskOu
 		m.nextTID = id
 	}
 	t.ID = id
-	st := &taskState{task: t, outcome: metrics.TaskOutcome{
+	st := &taskState{task: t, owner: -1, outcome: metrics.TaskOutcome{
 		TaskID:   id,
 		Category: t.Category,
 		Peak:     t.Consumption,

@@ -27,6 +27,11 @@ const (
 	// EventHeartbeatTimeout: the sweeper declared a worker lost after it
 	// stayed silent past the heartbeat timeout.
 	EventHeartbeatTimeout EventType = "heartbeat-timeout"
+	// EventStaleResult: a result frame for a live task arrived from a worker
+	// that no longer owns it (the task was evicted and requeued, possibly
+	// re-dispatched elsewhere) and was dropped (Status carries the dropped
+	// frame's wire status).
+	EventStaleResult EventType = "stale-result"
 	// EventTaskFailed: a task exceeded its retry budget and was abandoned
 	// permanently.
 	EventTaskFailed EventType = "task-failed"
@@ -112,6 +117,7 @@ type Stats struct {
 	Evictions         int // eviction-lost attempts
 	Failures          int // tasks abandoned at the retry limit
 	Requeues          int
+	StaleResults      int // dropped results from workers that lost ownership
 	HeartbeatTimeouts int
 	WorkersLost       int // worker connections lost before Close
 	PeakQueue         int // deepest the ready queue ever got
