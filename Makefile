@@ -31,7 +31,7 @@ SERVE_MAX_ALLOCS = 40
 # allocation.
 STREAM_MAX_ALLOCS = 200000
 
-.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke bench-stream bench-stream-smoke serve-bench serve-bench-smoke short ci clean
+.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke bench-stream bench-stream-smoke serve-bench serve-bench-smoke whatif-smoke short ci clean
 
 all: build
 
@@ -43,10 +43,11 @@ test:
 
 # The parallel experiment harness is the concurrency-heavy package; run it
 # (and the public facade that drives it) under the race detector, together
-# with the pooled event engine and the simulator that recycles its
-# slots/handles (harness workers run simulations concurrently).
+# with the pooled event engine, the simulator that recycles its
+# slots/handles (harness workers run simulations concurrently), and the
+# runlog package whose Writer is shared across engine and tracer goroutines.
 race:
-	$(GO) test -race ./internal/harness/... ./internal/devent/... ./internal/sim/... ./internal/serve/... . -count=1
+	$(GO) test -race ./internal/harness/... ./internal/devent/... ./internal/sim/... ./internal/serve/... ./internal/runlog/... . -count=1
 
 # The live work-queue engine integration tests (heartbeat loss, bounded
 # retry, drain-under-load, ID-collision regressions) under the race detector.
@@ -104,7 +105,17 @@ serve-bench:
 serve-bench-smoke:
 	$(GO) test $(BENCH_SERVE_PKGS) -run '^$$' -bench $(BENCH_SERVE_PATTERN) -benchmem -benchtime 100x | $(GO) run ./cmd/benchfmt -max-allocs $(SERVE_MAX_ALLOCS) -out BENCH_serve.json
 
-ci: vet build test race test-live bench-smoke bench-alloc-smoke bench-stream-smoke serve-bench-smoke
+# End-to-end smoke of the record -> replay -> what-if loop: record a small
+# DES run on a churny pool, verify the fidelity replay reproduces the
+# recorded footer bit-identically, and rank two counterfactual allocators
+# against it. Exercises the same path as `whatif <any saved run log>`.
+whatif-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/vinesim -workflow normal -tasks 120 -algorithm greedy-bucketing \
+		-des -pool churn:8:600:120:2000 -log "$$tmp/rec.jsonl" >/dev/null 2>&1 && \
+	$(GO) run ./cmd/whatif -fidelity -algorithms greedy-bucketing,max-seen -j 2 "$$tmp/rec.jsonl"
+
+ci: vet build test race test-live whatif-smoke bench-smoke bench-alloc-smoke bench-stream-smoke serve-bench-smoke
 
 clean:
 	rm -rf figures-out

@@ -85,6 +85,10 @@ func replayLog(path string, perCategory bool) ([][]any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if log.UnknownKinds > 0 {
+		fmt.Fprintf(os.Stderr, "analyze: %s: skipped %d record(s) of unknown kind (log format %d, this build reads %d)\n",
+			path, log.UnknownKinds, log.Header.Format, runlog.FormatVersion)
+	}
 	acc := runlog.Replay(log)
 	rows := [][]any{{path, log.Header.Workload, log.Header.Algorithm,
 		acc.Tasks(), acc.Retries(), acc.Evictions(), acc.Failures(), len(log.Events),

@@ -31,6 +31,7 @@ import (
 
 	"dynalloc/internal/allocator"
 	"dynalloc/internal/condor"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/opportunistic"
 	"dynalloc/internal/report"
 	"dynalloc/internal/resources"
@@ -94,8 +95,8 @@ func main() {
 		if !*useDES {
 			fatalIf(fmt.Errorf("-stream requires -des"))
 		}
-		if *wfFile != "" || *oracle || *logPath != "" || *withData {
-			fatalIf(fmt.Errorf("-stream generates tasks lazily; -workflow-file, -oracle, -log and -data need the materialized task list"))
+		if *wfFile != "" || *oracle || *withData {
+			fatalIf(fmt.Errorf("-stream generates tasks lazily; -workflow-file, -oracle and -data need the materialized task list"))
 		}
 		s, err := workflow.SourceByName(*wfName, *tasks, *seed)
 		fatalIf(err)
@@ -121,6 +122,22 @@ func main() {
 		fatalIf(err)
 	}
 
+	// The run log opens before the run so streaming runs can append task
+	// lines as outcomes finalize (Writer.Task wired into OnOutcome) instead
+	// of needing the materialized outcome slice afterwards.
+	var (
+		logFile *os.File
+		logW    *runlog.Writer
+		logErr  error
+	)
+	openLog := func(hdr runlog.Header) {
+		f, err := os.Create(*logPath)
+		fatalIf(err)
+		lw, err := runlog.NewWriter(f, hdr)
+		fatalIf(err)
+		logFile, logW = f, lw
+	}
+
 	var res *sim.Result
 	if *useDES {
 		pool, err := parsePool(*poolSpec)
@@ -132,26 +149,45 @@ func main() {
 			layer = vine.NewLayer()
 			vine.Attach(layer, w, *seed)
 		}
-		res, err = sim.RunContext(ctx, sim.Config{
+		cfg := sim.Config{
 			Workflow: w, Source: src, Policy: policy, Pool: pool, PoolSeed: *seed, Model: cm,
 			Place: placement, Data: layer,
 			DiscardOutcomes: *stream,
-		})
+		}
+		if *logPath != "" {
+			wfWindow, wfBarriers := workloadShape(w, src)
+			hdr := runlog.SimHeader(runlog.DriverDES, wfLabel, policy.Name(), *seed, cfg, wfWindow, wfBarriers)
+			if w != nil {
+				hdr.Tasks = len(w.Tasks)
+			}
+			openLog(hdr)
+			if *stream {
+				// OnOutcome runs on the engine goroutine and the outcome is
+				// recycled after the callback, so encode synchronously here.
+				cfg.OnOutcome = func(o *metrics.TaskOutcome) {
+					if err := logW.Task(o); err != nil && logErr == nil {
+						logErr = err
+					}
+				}
+			}
+		}
+		res, err = sim.RunContext(ctx, cfg)
 		fatalIf(err)
 	} else {
+		if *logPath != "" {
+			hdr := runlog.SimHeader(runlog.DriverSequential, wfLabel, policy.Name(), *seed,
+				sim.Config{Model: cm}, w.SubmitWindow, w.Barriers)
+			hdr.Tasks = len(w.Tasks)
+			openLog(hdr)
+		}
 		res, err = sim.RunSequentialContext(ctx, w, policy, cm, 0)
 		fatalIf(err)
 	}
 
-	if *logPath != "" {
-		f, err := os.Create(*logPath)
-		fatalIf(err)
-		fatalIf(runlog.Write(f, runlog.Header{
-			Workload:  wfLabel,
-			Algorithm: policy.Name(),
-			Seed:      *seed,
-		}, res))
-		fatalIf(f.Close())
+	if logW != nil {
+		fatalIf(logErr)
+		fatalIf(logW.Finish(res))
+		fatalIf(logFile.Close())
 		fmt.Fprintf(os.Stderr, "wrote run log %s\n", *logPath)
 	}
 
@@ -211,6 +247,21 @@ func compareAlgorithms(ctx context.Context, wfName string, algNames []string, ta
 			c.Elapsed.Round(time.Millisecond).String())
 	}
 	fatalIf(tab.Render(os.Stdout))
+}
+
+// workloadShape extracts the submit window and phase barriers of whichever
+// workload form the run uses (materialized slice or lazy source), for the
+// run-log header. Enumerating a source's barriers is stateless (NextBarrier
+// does not consume tasks), so the source stays fresh for the run.
+func workloadShape(w *workflow.Workflow, src workflow.Source) (int, []int) {
+	if w != nil {
+		return w.SubmitWindow, w.Barriers
+	}
+	var barriers []int
+	for b := src.NextBarrier(0); b > 0; b = src.NextBarrier(b) {
+		barriers = append(barriers, b)
+	}
+	return src.SubmitWindow(), barriers
 }
 
 func loadWorkflow(file, name string, tasks int, seed uint64) (*workflow.Workflow, error) {

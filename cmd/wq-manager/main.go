@@ -65,10 +65,14 @@ func main() {
 		logFile, err = os.Create(*logPath)
 		fatalIf(err)
 		lw, err = runlog.NewWriter(logFile, runlog.Header{
-			Workload:  w.Name,
-			Algorithm: policy.Name(),
-			Seed:      *seed,
-			Tasks:     len(w.Tasks),
+			Workload:    w.Name,
+			Algorithm:   policy.Name(),
+			Seed:        *seed,
+			Tasks:       len(w.Tasks),
+			Driver:      runlog.DriverWQ,
+			Window:      w.SubmitWindow,
+			Barriers:    w.Barriers,
+			MaxAttempts: *retryLimit,
 		})
 		fatalIf(err)
 		opts = append(opts, wq.WithTracer(wq.NewRunlogTracer(lw)))

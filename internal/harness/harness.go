@@ -43,6 +43,11 @@ type Options struct {
 	Pool opportunistic.Model
 	// Workloads restricts the workload set (nil = all seven).
 	Workloads []string
+	// Traces adds recorded run-log files as extra grid rows (the "trace"
+	// axis): each trace's task stream is materialized via runlog.TraceSource
+	// and swept under every algorithm like a generated workload, appearing
+	// as workload TraceWorkloadName(path).
+	Traces []string
 	// Algorithms restricts the algorithm set (nil = all seven).
 	Algorithms []allocator.Name
 	// AllocatorConfig overrides allocator settings (Seed is managed by the
@@ -62,6 +67,22 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if len(o.Workloads) == 0 {
 		o.Workloads = workflow.Names()
+	}
+	// Traces join the workload axis under their grid row names, so the
+	// figure renderers (which iterate o.Workloads for rows) include them
+	// without special-casing.
+	for _, p := range o.Traces {
+		name := TraceWorkloadName(p)
+		seen := false
+		for _, wf := range o.Workloads {
+			if wf == name {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			o.Workloads = append(append([]string(nil), o.Workloads...), name)
+		}
 	}
 	if len(o.Algorithms) == 0 {
 		o.Algorithms = allocator.Names()
@@ -131,10 +152,21 @@ func RunGridContext(ctx context.Context, opts Options, extra ...Option) ([]Cell,
 
 	// Workloads are generated up front and shared read-only by the cells
 	// of a row; generation is cheap next to simulation, and failing on an
-	// unknown workload before any cell runs mirrors the sequential engine.
+	// unknown workload (or unreadable trace) before any cell runs mirrors
+	// the sequential engine.
+	tracePaths := make(map[string]string, len(opts.Traces))
+	for _, p := range opts.Traces {
+		tracePaths[TraceWorkloadName(p)] = p
+	}
 	wfs := make([]*workflow.Workflow, len(opts.Workloads))
 	for i, wfName := range opts.Workloads {
-		w, err := workflow.ByName(wfName, opts.Tasks, opts.Seed)
+		var w *workflow.Workflow
+		var err error
+		if p, ok := tracePaths[wfName]; ok {
+			w, err = loadTraceWorkflow(p)
+		} else {
+			w, err = workflow.ByName(wfName, opts.Tasks, opts.Seed)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/allocator"
+	"dynalloc/internal/opportunistic"
+	"dynalloc/internal/runlog"
+	"dynalloc/internal/sim"
+	"dynalloc/internal/workflow"
+)
+
+// recordTrace runs one small DES workload and returns the parsed log plus
+// the raw log text.
+func recordTrace(t *testing.T, seed uint64, alg allocator.Name) (*runlog.Log, string) {
+	t.Helper()
+	w, err := workflow.ByName("normal", 80, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := allocator.MustNew(alg, allocator.Config{Seed: seed})
+	cfg := sim.Config{
+		Workflow: w,
+		Policy:   pol,
+		Pool:     opportunistic.Churn{Initial: 5, MeanLifetime: 400, MeanInterval: 150, Horizon: 1200, KeepLastAlive: true},
+		PoolSeed: seed,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := runlog.SimHeader(runlog.DriverDES, w.Name, pol.Name(), seed, cfg, w.SubmitWindow, w.Barriers)
+	var buf bytes.Buffer
+	if err := runlog.Write(&buf, hdr, res); err != nil {
+		t.Fatal(err)
+	}
+	log, err := runlog.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log, buf.String()
+}
+
+// The what-if sweep: every allocator replays against the identical recorded
+// environment; the recorded allocator's cell is a fidelity replay matching
+// the footer bit-identically; the ranking table renders.
+func TestWhatIfSweep(t *testing.T) {
+	log, _ := recordTrace(t, 21, allocator.Greedy)
+	algs := []allocator.Name{allocator.MaxSeen, allocator.Greedy, allocator.WholeMachine}
+	cells, err := WhatIfContext(context.Background(), log, algs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(algs) {
+		t.Fatalf("%d cells, want %d", len(cells), len(algs))
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Fatalf("replay under %s failed: %v", c.Algorithm, c.Err)
+		}
+		if c.Summary.Tasks != 80 {
+			t.Errorf("%s replayed %d tasks, want 80", c.Algorithm, c.Summary.Tasks)
+		}
+	}
+	var recorded *WhatIfCell
+	for i := range cells {
+		if cells[i].Recorded {
+			recorded = &cells[i]
+		}
+	}
+	if recorded == nil || recorded.Algorithm != allocator.Greedy {
+		t.Fatal("recorded allocator's cell not marked")
+	}
+	if !reflect.DeepEqual(recorded.Summary, log.Footer.Summary) {
+		t.Errorf("recorded allocator's replay is not a fidelity replay:\n got %+v\nwant %+v",
+			recorded.Summary, log.Footer.Summary)
+	}
+
+	var out bytes.Buffer
+	if err := WhatIfTable(log, cells).Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "greedy-bucketing *") {
+		t.Errorf("ranking table does not mark the recorded allocator:\n%s", out.String())
+	}
+}
+
+// Nil algs defaults to the full registered set (the nine allocators).
+func TestWhatIfDefaultsToAllAllocators(t *testing.T) {
+	log, _ := recordTrace(t, 5, allocator.MaxSeen)
+	cells, err := WhatIfContext(context.Background(), log, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(allocator.ExtendedNames()); len(cells) != want {
+		t.Fatalf("%d cells, want %d (every registered allocator)", len(cells), want)
+	}
+}
+
+// The trace axis: a recorded log joins the experiment grid as an extra
+// workload row and sweeps under every algorithm like a generated workload.
+func TestGridTraceAxis(t *testing.T) {
+	_, text := recordTrace(t, 9, allocator.Greedy)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.jsonl")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{
+		Seed:       9,
+		Tasks:      60,
+		Workloads:  []string{"uniform"},
+		Traces:     []string{path},
+		Algorithms: []allocator.Name{allocator.MaxSeen, allocator.Greedy},
+	}
+	cells, err := RunGridContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("%d cells, want 4 (2 workloads x 2 algorithms)", len(cells))
+	}
+	traceName := TraceWorkloadName(path)
+	rows := map[string]int{}
+	for _, c := range cells {
+		rows[c.Workload]++
+		if c.Summary.Tasks == 0 {
+			t.Errorf("cell %s/%s ran no tasks", c.Workload, c.Algorithm)
+		}
+	}
+	if rows["uniform"] != 2 || rows[traceName] != 2 {
+		t.Errorf("grid rows = %v, want 2 cells each for uniform and %s", rows, traceName)
+	}
+
+	// The figure renderers pick the trace row up through withDefaults.
+	tabs := Fig5Tables(cells, opts)
+	var out bytes.Buffer
+	if err := tabs[0].Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), traceName) {
+		t.Errorf("Figure 5 table is missing the trace row:\n%s", out.String())
+	}
+}

@@ -67,6 +67,13 @@ type TaskOutcome struct {
 	Peak     resources.Vector // actual peak consumption (c, m, d)
 	Runtime  float64          // duration t of the successful run
 	Attempts []Attempt        // chronological; the last one has Status Success or Failed
+	// SubmitTime and DoneTime are the times (seconds on the engine's clock:
+	// virtual for the simulators, wall-clock since manager start for the
+	// live engine) at which the task entered the ready queue and reached a
+	// terminal state. They are trace metadata for run-log replay and do not
+	// participate in any waste metric.
+	SubmitTime float64
+	DoneTime   float64
 }
 
 // Succeeded reports whether any attempt completed successfully. A task

@@ -122,6 +122,32 @@ func (c Churn) Name() string {
 	return fmt.Sprintf("churn(init=%d, life=%.0fs)", c.Initial, c.MeanLifetime)
 }
 
+// Scripted replays a fixed arrival schedule verbatim: the seed is ignored
+// and Schedule returns exactly the arrivals it was built with. It is the
+// pool model behind trace-driven replay (internal/runlog): a recorded run's
+// realized worker arrivals and lease ends become the schedule, so a
+// counterfactual re-simulation sees the same churn the original run saw
+// instead of sampling fresh churn.
+type Scripted struct {
+	// Label names the schedule's origin (e.g. the source pool's Name()).
+	Label string
+	// Arrivals is the schedule, sorted ascending by At. The slice is
+	// returned as-is by Schedule; callers must not mutate it afterwards.
+	Arrivals []Arrival
+}
+
+// Schedule implements Model. The seed is ignored — the whole point of a
+// scripted pool is that nothing is resampled.
+func (s Scripted) Schedule(uint64) []Arrival { return s.Arrivals }
+
+// Name implements Model.
+func (s Scripted) Name() string {
+	if s.Label != "" {
+		return fmt.Sprintf("scripted(%s, %d workers)", s.Label, len(s.Arrivals))
+	}
+	return fmt.Sprintf("scripted(%d workers)", len(s.Arrivals))
+}
+
 // PaperPool returns the evaluation pool shape of Section V-A: workers
 // ramping from 20 up to 50 as the HTCondor cluster makes room.
 func PaperPool() Model {

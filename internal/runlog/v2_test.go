@@ -1,0 +1,205 @@
+package runlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/resources"
+	"dynalloc/internal/sim"
+)
+
+// streamedResult builds a result the way a streaming run leaves it: the
+// accumulator holds every outcome, Outcomes is nil.
+func streamedResult(outcomes []metrics.TaskOutcome) *sim.Result {
+	res := &sim.Result{}
+	for _, o := range outcomes {
+		res.Acc.Add(o)
+	}
+	return res
+}
+
+func someOutcomes(n int) []metrics.TaskOutcome {
+	out := make([]metrics.TaskOutcome, n)
+	for i := range out {
+		out[i] = metrics.TaskOutcome{
+			TaskID:     i,
+			Category:   "cat",
+			Peak:       resources.New(2, 1024, 512, 30),
+			Runtime:    30,
+			SubmitTime: float64(i),
+			DoneTime:   float64(i) + 30,
+			Attempts: []metrics.Attempt{
+				{Alloc: resources.New(4, 2048, 1024, resources.Unlimited), Duration: 30, Status: metrics.Success},
+			},
+		}
+	}
+	return out
+}
+
+// Regression (silent-loss bug 1): serializing a streaming result used to
+// emit "tasks: 0" with zero task lines and a full footer — a log that
+// summarized tasks appearing nowhere in it. It must be a loud error now.
+func TestFinishStreamingResultIsLoudError(t *testing.T) {
+	res := streamedResult(someOutcomes(5))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Workload: "w", Algorithm: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(res); !errors.Is(err, ErrNoOutcomes) {
+		t.Fatalf("Finish on streamed result = %v, want ErrNoOutcomes", err)
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, Header{Workload: "w", Algorithm: "a"}, res); !errors.Is(err, ErrNoOutcomes) {
+		t.Fatalf("Write on streamed result = %v, want ErrNoOutcomes", err)
+	}
+}
+
+// The streaming recording path: task lines written incrementally through
+// Writer.Task (the OnOutcome wiring) make Finish legal on a streamed
+// result, and the log round-trips every metric.
+func TestWriterTaskStreamingPath(t *testing.T) {
+	outcomes := someOutcomes(7)
+	res := streamedResult(outcomes)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Workload: "w", Algorithm: "a", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outcomes {
+		if err := w.Task(&outcomes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Tasks(); got != 7 {
+		t.Fatalf("Tasks() = %d, want 7", got)
+	}
+	if err := w.Finish(res); err != nil {
+		t.Fatalf("Finish after incremental tasks: %v", err)
+	}
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header.Format != FormatVersion {
+		t.Errorf("header format = %d, want %d", log.Header.Format, FormatVersion)
+	}
+	if len(log.Outcomes) != 7 {
+		t.Fatalf("%d outcomes read back, want 7", len(log.Outcomes))
+	}
+	if log.Outcomes[3].SubmitTime != 3 || log.Outcomes[3].DoneTime != 33 {
+		t.Errorf("submit/done times = %v/%v, want 3/33",
+			log.Outcomes[3].SubmitTime, log.Outcomes[3].DoneTime)
+	}
+	acc := Replay(log)
+	for _, k := range resources.AllocatedKinds() {
+		if got, want := acc.AWE(k), res.Acc.AWE(k); got != want {
+			t.Errorf("replayed AWE(%s) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// Regression (bug 2): Read used to error on any unknown record kind, so a
+// log written by a newer format version was entirely unreadable. Unknown
+// kinds under a declared-newer format are skipped and counted; under a
+// known format they remain corruption.
+func TestReadSkipsFutureKinds(t *testing.T) {
+	future := fmt.Sprintf(`{"kind":"header","format":%d,"workload":"w","algorithm":"a","seed":1,"tasks":1}
+{"kind":"hologram","payload":"from the future"}
+{"kind":"task","id":0,"category":"c","cores":1,"memory_mb":10,"disk_mb":10,"runtime_s":5,"attempts":[{"cores":2,"memory_mb":20,"disk_mb":20,"duration_s":5,"status":"success"}]}
+`, FormatVersion+1)
+	log, err := Read(strings.NewReader(future))
+	if err != nil {
+		t.Fatalf("reading declared-newer log: %v", err)
+	}
+	if log.UnknownKinds != 1 {
+		t.Errorf("UnknownKinds = %d, want 1", log.UnknownKinds)
+	}
+	if len(log.Outcomes) != 1 {
+		t.Errorf("%d outcomes, want 1 (known kinds still parse)", len(log.Outcomes))
+	}
+
+	current := fmt.Sprintf(`{"kind":"header","format":%d,"workload":"w","algorithm":"a","seed":1,"tasks":0}
+{"kind":"hologram"}
+`, FormatVersion)
+	if _, err := Read(strings.NewReader(current)); err == nil {
+		t.Fatal("unknown kind under the current format must remain an error")
+	}
+}
+
+// Regression (bug 3): the Writer never flushed before Finish, so a run
+// killed mid-way left an empty file. The header flushes at creation and
+// Flush pushes the buffered tail, so an abandoned log still parses with its
+// events intact.
+func TestWriterFlushAbandonedLog(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Workload: "w", Algorithm: "a", Tasks: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("header not flushed at creation")
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Event(EventRecord{TimeNS: int64(i), Event: "dispatch", TaskID: i, WorkerID: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The writer is now abandoned: no Finish, no footer.
+	log, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("abandoned log must still parse: %v", err)
+	}
+	if log.Footer != nil {
+		t.Error("abandoned log has a footer")
+	}
+	if len(log.Events) != 3 {
+		t.Errorf("%d events survived, want 3", len(log.Events))
+	}
+	if log.Header.Workload != "w" || log.Header.Tasks != 100 {
+		t.Errorf("header mangled: %+v", log.Header)
+	}
+}
+
+// Worker lines round-trip and footer carries makespan and peak workers.
+func TestWorkerLinesAndFooterRoundTrip(t *testing.T) {
+	outcomes := someOutcomes(2)
+	res := &sim.Result{Outcomes: outcomes, Makespan: 123.5, PeakWorkers: 4}
+	for _, o := range outcomes {
+		res.Acc.Add(o)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Workload: "w", Algorithm: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Worker(WorkerRecord{ID: 0, AtS: 0, LifetimeS: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Worker(WorkerRecord{ID: 1, AtS: 42.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(res); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Workers) != 2 {
+		t.Fatalf("%d worker lines, want 2", len(log.Workers))
+	}
+	if log.Workers[0].LifetimeS != 600 || log.Workers[1].AtS != 42.5 {
+		t.Errorf("worker lines mangled: %+v", log.Workers)
+	}
+	if log.Footer == nil || log.Footer.MakespanS != 123.5 || log.Footer.PeakWorkers != 4 {
+		t.Errorf("footer = %+v, want makespan 123.5, peak 4", log.Footer)
+	}
+}

@@ -43,10 +43,11 @@ func RunSequentialContext(ctx context.Context, w *workflow.Workflow, policy allo
 			}
 		}
 		outcome := metrics.TaskOutcome{
-			TaskID:   t.ID,
-			Category: t.Category,
-			Peak:     t.Consumption,
-			Runtime:  t.Runtime(),
+			TaskID:     t.ID,
+			Category:   t.Category,
+			Peak:       t.Consumption,
+			Runtime:    t.Runtime(),
+			SubmitTime: clock,
 		}
 		alloc := policy.Allocate(t.Category, t.ID)
 		for {
@@ -67,6 +68,7 @@ func RunSequentialContext(ctx context.Context, w *workflow.Workflow, policy allo
 			}
 			alloc = policy.Retry(t.Category, t.ID, alloc, exceeded)
 		}
+		outcome.DoneTime = clock
 		policy.Observe(t.Category, t.ID, t.Consumption, t.Runtime())
 		res.Outcomes = append(res.Outcomes, outcome)
 		res.Acc.Add(outcome)

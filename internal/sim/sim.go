@@ -122,6 +122,11 @@ type Result struct {
 	// Failed counts tasks abandoned permanently after exceeding a retry
 	// bound (live engine only; the simulator retries without bound).
 	Failed int
+	// Arrivals is the realized worker arrival schedule the run executed
+	// against (DES runs only; nil under the sequential driver). Recording it
+	// alongside the outcomes is what makes a run log replayable: a scripted
+	// pool re-presents exactly this schedule to a counterfactual run.
+	Arrivals []opportunistic.Arrival
 }
 
 // Summary returns the metric summary of the run.
@@ -310,6 +315,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		PeakWorkers: s.peakWorkers,
 		PeakWindow:  s.store.peak,
 		Evictions:   s.evictions,
+		Arrivals:    s.arrivals,
 	}, nil
 }
 
@@ -446,11 +452,12 @@ func (s *simulator) generate() {
 			attempts = e.outcome.Attempts[:0]
 		}
 		*e = simTask{task: t, outcome: metrics.TaskOutcome{
-			TaskID:   t.ID,
-			Category: t.Category,
-			Peak:     t.Consumption,
-			Runtime:  t.Runtime(),
-			Attempts: attempts,
+			TaskID:     t.ID,
+			Category:   t.Category,
+			Peak:       t.Consumption,
+			Runtime:    t.Runtime(),
+			Attempts:   attempts,
+			SubmitTime: s.engine.Now(),
 		}}
 		s.ready.PushBack(s.generated)
 		s.generated++
@@ -620,6 +627,7 @@ func (s *simulator) onTaskEnd(workerID, idx int, duration float64) {
 			Status:   metrics.Success,
 		})
 		st.done = true
+		st.outcome.DoneTime = s.engine.Now()
 		s.completed++
 		s.makespan = s.engine.Now()
 		s.cfg.Policy.Observe(st.task.Category, st.task.ID, st.task.Consumption, st.task.Runtime())

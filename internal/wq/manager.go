@@ -35,6 +35,10 @@ var ErrManagerClosed = errors.New("wq: manager closed")
 // RunWorkflow callers with ErrManagerClosed.
 type Manager struct {
 	policy allocator.Policy
+	// start anchors the manager's trace clock: task submit/done times are
+	// recorded as wall-clock seconds since it, the live analogue of the
+	// simulators' virtual clock.
+	start time.Time
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -159,6 +163,7 @@ func WithTracer(t Tracer) Option {
 func NewManager(policy allocator.Policy, opts ...Option) *Manager {
 	m := &Manager{
 		policy:       policy,
+		start:        time.Now(),
 		workers:      make(map[int]*managedWorker),
 		tasks:        make(map[int]*taskState),
 		perWorker:    make(map[int]*WorkerStats),
@@ -348,6 +353,8 @@ func (m *Manager) evict(w *managedWorker) {
 	}
 	if !m.closed {
 		m.stats.WorkersLost++
+		m.traceLocked(Event{Type: EventWorkerLost, TaskID: -1, WorkerID: w.id,
+			Detail: fmt.Sprintf("in_flight=%d", len(w.running))})
 	}
 	ids := make([]int, 0, len(w.running))
 	for id := range w.running {
@@ -408,6 +415,7 @@ func (m *Manager) failIfOverLimitLocked(st *taskState) bool {
 	})
 	st.done = true
 	st.failed = true
+	st.outcome.DoneTime = m.sinceStart()
 	m.stats.Failures++
 	m.traceLocked(Event{Type: EventTaskFailed, TaskID: st.task.ID, WorkerID: -1})
 	if st.notify != nil {
@@ -459,6 +467,7 @@ func (m *Manager) handleResult(w *managedWorker, res Message) {
 			Status:   metrics.Success,
 		})
 		st.done = true
+		st.outcome.DoneTime = m.sinceStart()
 		m.stats.Successes++
 		if ws != nil {
 			ws.Successes++
@@ -612,10 +621,11 @@ func (m *Manager) registerTaskLocked(t workflow.Task, notify chan metrics.TaskOu
 	}
 	t.ID = id
 	st := &taskState{task: t, owner: -1, outcome: metrics.TaskOutcome{
-		TaskID:   id,
-		Category: t.Category,
-		Peak:     t.Consumption,
-		Runtime:  t.Runtime(),
+		TaskID:     id,
+		Category:   t.Category,
+		Peak:       t.Consumption,
+		Runtime:    t.Runtime(),
+		SubmitTime: m.sinceStart(),
 	}, notify: notify}
 	m.tasks[id] = st
 	m.queue = append(m.queue, id)
@@ -636,6 +646,10 @@ func (m *Manager) inFlightLocked() int {
 	}
 	return n
 }
+
+// sinceStart returns seconds of wall time since the manager was created —
+// the live engine's trace clock.
+func (m *Manager) sinceStart() float64 { return time.Since(m.start).Seconds() }
 
 func (m *Manager) traceLocked(ev Event) {
 	if m.tracer == nil {

@@ -13,6 +13,13 @@ type EventType string
 const (
 	// EventWorkerJoin: a worker registered (WorkerID set).
 	EventWorkerJoin EventType = "worker-join"
+	// EventWorkerLost: a worker's connection ended while the manager was
+	// still running (eviction, crash, or heartbeat reap — the per-task
+	// EventEviction lines follow). Workers released by Close do not emit it.
+	// Together with EventWorkerJoin this is the realized churn schedule a
+	// live run executed against, which is how runlog.ScriptedPool
+	// reconstructs a replayable pool from a wq trace.
+	EventWorkerLost EventType = "worker-lost"
 	// EventDispatch: a task was placed on a worker.
 	EventDispatch EventType = "dispatch"
 	// EventResult: a result frame was accepted (Status carries the wire
@@ -58,15 +65,34 @@ type Tracer interface {
 	Trace(Event)
 }
 
+// Flush policy for RunlogTracer: the buffered log is pushed to disk after
+// this many event lines or once this much wall time has passed since the
+// last flush, whichever comes first. Without periodic flushing a run killed
+// before Finish loses its whole buffered timeline; with it an abandoned log
+// still parses with at most the tail missing.
+const (
+	runlogFlushEvery    = 64
+	runlogFlushInterval = 2 * time.Second
+)
+
 // RunlogTracer appends manager events to a run log as "event" lines, so a
 // live run's log replays through cmd/analyze exactly like a simulator log
-// while also carrying the engine timeline.
+// while also carrying the engine timeline. It flushes the log periodically
+// (see runlogFlushEvery / runlogFlushInterval) so a crashed run's trace
+// survives up to its last few events.
 type RunlogTracer struct {
 	w *runlog.Writer
+	// sinceFlush and lastFlush implement the flush policy. Trace is called
+	// synchronously under the manager's lock (see the Tracer contract), so
+	// they need no lock of their own.
+	sinceFlush int
+	lastFlush  time.Time
 }
 
 // NewRunlogTracer wraps an incremental run-log writer.
-func NewRunlogTracer(w *runlog.Writer) *RunlogTracer { return &RunlogTracer{w: w} }
+func NewRunlogTracer(w *runlog.Writer) *RunlogTracer {
+	return &RunlogTracer{w: w, lastFlush: time.Now()}
+}
 
 // Trace implements Tracer. Write errors are dropped: tracing must never take
 // the engine down.
@@ -79,6 +105,12 @@ func (t *RunlogTracer) Trace(ev Event) {
 		Status:   ev.Status,
 		Detail:   ev.Detail,
 	})
+	t.sinceFlush++
+	if t.sinceFlush >= runlogFlushEvery || time.Since(t.lastFlush) >= runlogFlushInterval {
+		_ = t.w.Flush()
+		t.sinceFlush = 0
+		t.lastFlush = time.Now()
+	}
 }
 
 // FuncTracer adapts a function to the Tracer interface.
