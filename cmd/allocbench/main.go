@@ -7,6 +7,14 @@
 //
 //	allocbench -tenants 8 -conns 2 -tasks 5000                # in-process
 //	allocbench -addr 127.0.0.1:9200 -tenants 8 -tasks 5000    # against allocd
+//	allocbench -tenants 1 -conns 1 -pipeline 64 -tasks 100000 # deep pipeline
+//	allocbench -tenants 1 -conns 1 -batch 32 -tasks 100000    # batched allocates
+//
+// -pipeline N drives each connection with N concurrent task streams, so up
+// to N calls are in flight on one socket and the client's flush coalescing
+// collapses them into few syscalls. -batch N requests predictions in
+// AllocateBatch chunks of N, the cheapest way to saturate the wire from a
+// single goroutine.
 package main
 
 import (
@@ -33,8 +41,16 @@ func main() {
 		algName    = flag.String("algorithm", string(allocator.Exhaustive), "allocation algorithm for new tenants")
 		seed       = flag.Uint64("seed", 42, "base random seed")
 		maxRecords = flag.Int("max-records", 4096, "in-process server record ceiling (ignored with -addr)")
+		pipeline   = flag.Int("pipeline", 1, "concurrent task streams per connection (pipeline depth)")
+		batch      = flag.Int("batch", 1, "request allocations in AllocateBatch chunks of this size")
 	)
 	flag.Parse()
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
 
 	if _, err := allocator.ParseName(*algName); err != nil {
 		fatal(err)
@@ -64,53 +80,40 @@ func main() {
 			wg.Add(1)
 			go func(tenant string, ti, ci int) {
 				defer wg.Done()
-				c, err := serve.Dial(target, tenant, *algName, *seed+uint64(ti))
+				window := 2 * *pipeline * *batch
+				if window < 8 {
+					window = 8
+				}
+				c, err := serve.Dial(target, tenant, *algName, *seed+uint64(ti),
+					serve.WithPipelineWindow(window))
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
 				defer c.Close()
-				drive := rand.New(rand.NewPCG(*seed+uint64(ti), uint64(ci)))
-				for task := 0; task < *tasks; task++ {
-					id := ci**tasks + task
-					cat := [2]string{"preproc", "fit"}[id%2]
-					peak := resources.New(
-						1+3*drive.Float64(),
-						200+3000*drive.Float64(),
-						100+800*drive.Float64(),
-						10+50*drive.Float64(),
-					)
-					if drive.Float64() < 0.3 {
-						peak = peak.Scale(4)
+				// -pipeline splits this connection's task budget across
+				// concurrent streams; every stream's calls interleave on the
+				// one socket and flush-coalesce into shared syscalls.
+				var pwg sync.WaitGroup
+				per := (*tasks + *pipeline - 1) / *pipeline
+				for p := 0; p < *pipeline; p++ {
+					lo, hi := p*per, (p+1)*per
+					if hi > *tasks {
+						hi = *tasks
 					}
-					alloc, err := c.Allocate(cat, id)
-					if err != nil {
-						firstErr.CompareAndSwap(nil, err)
-						return
+					if lo >= hi {
+						break
 					}
-					allocs.Add(1)
-					for hop := 0; hop < 64; hop++ {
-						var exceeded []resources.Kind
-						for _, k := range resources.AllocatedKinds() {
-							if peak.Get(k) > alloc.Get(k) {
-								exceeded = append(exceeded, k)
-							}
-						}
-						if len(exceeded) == 0 {
-							break
-						}
-						alloc, err = c.Retry(cat, id, alloc, exceeded)
-						if err != nil {
+					pwg.Add(1)
+					go func(p, lo, hi int) {
+						defer pwg.Done()
+						drive := rand.New(rand.NewPCG(*seed+uint64(ti), uint64(ci*1000+p)))
+						if err := runStream(c, drive, ci, lo, hi, *batch, &allocs, &retries); err != nil {
 							firstErr.CompareAndSwap(nil, err)
-							return
 						}
-						retries.Add(1)
-					}
-					if err := c.Observe(cat, id, peak, 10+50*drive.Float64()); err != nil {
-						firstErr.CompareAndSwap(nil, err)
-						return
-					}
+					}(p, lo, hi)
 				}
+				pwg.Wait()
 				if _, err := c.Stats(); err != nil { // barrier: all observes applied
 					firstErr.CompareAndSwap(nil, err)
 				}
@@ -147,6 +150,78 @@ func main() {
 		fmt.Println("allocbench: tenant counters:")
 		fmt.Println(strings.Join(rows, "\n"))
 	}
+}
+
+// runStream drives the synthetic scheduler loop — allocate (singly or in
+// AllocateBatch chunks), escalate through retries until the task's peak
+// fits, observe — over tasks [lo, hi) of connection ci.
+func runStream(c *serve.Client, drive *rand.Rand, ci, lo, hi, batch int, allocs, retries *atomic.Int64) error {
+	tasks := hi - lo
+	ids := make([]int, 0, batch)
+	peaks := make([]resources.Vector, 0, batch)
+	vecs := make([]resources.Vector, 0, batch)
+	for done := 0; done < tasks; done += batch {
+		n := batch
+		if done+n > tasks {
+			n = tasks - done
+		}
+		// Batches are per category (AllocateBatch takes one); alternate
+		// chunk by chunk so both categories keep learning.
+		cat := [2]string{"preproc", "fit"}[(lo+done)%2]
+		ids, peaks = ids[:0], peaks[:0]
+		for i := 0; i < n; i++ {
+			ids = append(ids, ci*1_000_000+lo+done+i)
+			peak := resources.New(
+				1+3*drive.Float64(),
+				200+3000*drive.Float64(),
+				100+800*drive.Float64(),
+				10+50*drive.Float64(),
+			)
+			if drive.Float64() < 0.3 {
+				peak = peak.Scale(4)
+			}
+			peaks = append(peaks, peak)
+		}
+		var err error
+		if batch > 1 {
+			vecs, err = c.AllocateBatch(cat, ids, vecs)
+			if err != nil {
+				return err
+			}
+		} else {
+			vecs = vecs[:0]
+			v, err := c.Allocate(cat, ids[0])
+			if err != nil {
+				return err
+			}
+			vecs = append(vecs, v)
+		}
+		allocs.Add(int64(n))
+		for i := 0; i < n; i++ {
+			alloc, peak := vecs[i], peaks[i]
+			for hop := 0; hop < 64; hop++ {
+				var exceeded []resources.Kind
+				for _, k := range resources.AllocatedKinds() {
+					if peak.Get(k) > alloc.Get(k) {
+						exceeded = append(exceeded, k)
+					}
+				}
+				if len(exceeded) == 0 {
+					break
+				}
+				var err error
+				alloc, err = c.Retry(cat, ids[i], alloc, exceeded)
+				if err != nil {
+					return err
+				}
+				retries.Add(1)
+			}
+			if err := c.Observe(cat, ids[i], peak, 10+50*drive.Float64()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func fatalIf(err error) {

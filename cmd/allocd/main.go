@@ -20,6 +20,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -35,8 +37,21 @@ func main() {
 		tenantTTL  = flag.Duration("tenant-ttl", time.Hour, "evict tenants idle and disconnected this long (0 = keep forever)")
 		drain      = flag.Duration("drain-timeout", 5*time.Second, "grace period for connected clients on shutdown")
 		statsEvery = flag.Duration("stats-interval", time.Minute, "print per-tenant counters this often (0 disables)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Live profiling of the service hot paths, mirroring
+		// harness.StartProfiles on the sim CLIs:
+		//   go tool pprof http://<pprof-addr>/debug/pprof/profile?seconds=10
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "allocd: pprof:", err)
+			}
+		}()
+		fmt.Printf("allocd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	s := serve.NewServer(
 		serve.WithMaxRecords(*maxRecords),
@@ -80,10 +95,12 @@ func printStats(s *serve.Server) {
 	stats := s.Stats()
 	if len(stats) == 0 {
 		fmt.Println("allocd: no tenants")
-		return
 	}
 	for _, st := range stats {
 		fmt.Printf("allocd: tenant=%s conns=%d allocates=%d retries=%d observes=%d decays=%d categories=%d records=%d\n",
 			st.Tenant, st.Connections, st.Allocates, st.Retries, st.Observes, st.Decays, st.Categories, st.Records)
+	}
+	if n := s.DecodeErrors(); n > 0 {
+		fmt.Printf("allocd: decode-errors=%d (malformed frames rejected; their connections were closed)\n", n)
 	}
 }

@@ -1,11 +1,14 @@
 package serve
 
 import (
-	"encoding/json"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dynalloc/internal/resources"
 )
@@ -14,49 +17,151 @@ import (
 // will be answered on this connection.
 var ErrDraining = errors.New("serve: server draining")
 
+// Client defaults; see the corresponding ClientOptions.
+const (
+	defaultPipelineWindow = 128
+	defaultFlushInterval  = time.Millisecond
+	defaultObserveBurst   = 32
+)
+
 // Client is a connection to an allocator service, registered to one tenant.
 // It is safe for concurrent use: calls carry sequence numbers and a reader
 // goroutine routes each response to its waiting caller, so many goroutines
 // can have requests in flight on the one connection.
+//
+// The wire path is built for pipelining. Waiting callers park on a
+// fixed-size ring of reusable slots (the response sequence number encodes
+// the slot index, so routing is an array lookup and a call allocates
+// nothing), and writes are flush-coalesced: concurrent requests buffer into
+// one net.Conn write, and one-way observe frames ride along with the next
+// request or a short background flush instead of paying their own syscall.
 type Client struct {
 	conn net.Conn
-	enc  *json.Encoder
 
-	sendMu sync.Mutex // serializes frame writes
+	// Write side. sendMu guards the buffered writer and its bookkeeping.
+	// Frames accumulate in bw and are flushed by whichever comes first: an
+	// inline flush (lockstep calls with nothing else in flight), the flusher
+	// goroutine (pipelined bursts), or the flush timer (idle one-way frames).
+	sendMu     sync.Mutex
+	bw         *bufio.Writer
+	enc        []byte // appendFrame scratch
+	needFlush  bool   // a reply-bearing frame is buffered unflushed
+	unflushed  int    // one-way frames buffered since the last flush
+	flushArmed bool
+	flushTimer *time.Timer
+	flushWake  chan struct{} // signals the flusher goroutine; buffered(1)
+	armed      atomic.Int64  // calls currently in flight (armed slots)
 
-	mu      sync.Mutex
-	nextSeq uint64
-	pending map[uint64]chan Frame
-	err     error // terminal error once the reader exits
-	done    chan struct{}
+	flushInterval time.Duration
+	observeBurst  int
+
+	// Call routing. mu guards the slot ring and the terminal error.
+	mu    sync.Mutex
+	err   error // terminal error once the connection is dead
+	done  chan struct{}
+	slots []callSlot
+	mask  uint64
+	free  chan uint32 // indices of unarmed slots; doubles as the window limit
+}
+
+// callSlot is one in-flight call's parking spot. Slots are reused: seq is
+// gen*window+index, so a slot's sequence numbers never repeat and a stale
+// (already abandoned) response can be recognized and dropped.
+type callSlot struct {
+	seq   uint64
+	state uint8 // slotFree, slotArmed, or slotDone
+	resp  Frame
+	ready chan struct{} // buffered(1); signaled on deposit
+}
+
+const (
+	slotFree uint8 = iota
+	slotArmed
+	slotDone
+)
+
+// ClientOption configures a Client at Dial time.
+type ClientOption func(*Client)
+
+// WithPipelineWindow bounds how many calls may be in flight on the
+// connection at once (rounded up to a power of two, minimum 2). Calls past
+// the window block until a response frees a slot. The default is 128.
+func WithPipelineWindow(n int) ClientOption {
+	return func(c *Client) {
+		w := 2
+		for w < n {
+			w *= 2
+		}
+		c.mask = uint64(w - 1)
+	}
+}
+
+// WithFlushInterval bounds how long a buffered one-way observe frame may
+// wait for a request to ride along with before a background flush pushes it
+// out. The default is 1ms; it never delays request/response calls, which
+// flush inline.
+func WithFlushInterval(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.flushInterval = d
+		}
+	}
+}
+
+// WithObserveBurst sets how many one-way frames may accumulate before a
+// flush is forced regardless of the flush interval. The default is 32.
+func WithObserveBurst(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.observeBurst = n
+		}
+	}
 }
 
 // Dial connects to an allocator service at addr and registers tenant with
 // the given algorithm (empty = the service default) and seed. If the tenant
 // already exists on the server, the connection attaches to its live state
 // and algorithm/seed are ignored.
-func Dial(addr, tenant, algorithm string, seed uint64) (*Client, error) {
+func Dial(addr, tenant, algorithm string, seed uint64, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
-		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		nextSeq: 1,
-		pending: make(map[uint64]chan Frame),
-		done:    make(chan struct{}),
+		conn:          conn,
+		bw:            bufio.NewWriterSize(conn, 16<<10),
+		done:          make(chan struct{}),
+		mask:          defaultPipelineWindow - 1,
+		flushInterval: defaultFlushInterval,
+		observeBurst:  defaultObserveBurst,
+		flushWake:     make(chan struct{}, 1),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	window := int(c.mask) + 1
+	c.slots = make([]callSlot, window)
+	c.free = make(chan uint32, window)
+	for i := range c.slots {
+		c.slots[i].ready = make(chan struct{}, 1)
+		// Generations start at 1 so no live call ever uses seq 0, which the
+		// wire format cannot distinguish from an absent seq.
+		c.slots[i].seq = uint64(i)
+		c.free <- uint32(i)
+	}
+	c.flushTimer = time.AfterFunc(time.Hour, c.backgroundFlush)
+	c.flushTimer.Stop()
+
 	// Register synchronously before the reader goroutine exists: the ack is
-	// the first frame the server sends, so a plain decode is race-free here.
+	// the first frame the server sends, so a plain read is race-free here.
+	fr := newFrameReader(conn)
 	reg := Frame{Type: TypeRegister, Seq: 0, Tenant: tenant, Algorithm: algorithm, Seed: seed}
-	if err := c.enc.Encode(reg); err != nil {
+	if err := c.send(&reg, sendCall); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("serve: register: %w", err)
 	}
-	dec := json.NewDecoder(conn)
 	var ack Frame
-	if err := dec.Decode(&ack); err != nil {
+	if err := fr.next(&ack); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("serve: register: %w", err)
 	}
@@ -69,16 +174,17 @@ func Dial(addr, tenant, algorithm string, seed uint64) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("serve: unexpected register response %q", ack.Type)
 	}
-	go c.readLoop(dec)
+	go c.readLoop(fr)
+	go c.flushLoop()
 	return c, nil
 }
 
 // readLoop routes response frames to waiting callers until the connection
 // dies or the server drains.
-func (c *Client) readLoop(dec *json.Decoder) {
+func (c *Client) readLoop(fr *frameReader) {
+	var f Frame
 	for {
-		var f Frame
-		if err := dec.Decode(&f); err != nil {
+		if err := fr.next(&f); err != nil {
 			c.fail(fmt.Errorf("serve: connection lost: %w", err))
 			return
 		}
@@ -87,14 +193,18 @@ func (c *Client) readLoop(dec *json.Decoder) {
 			return
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[f.Seq]
-		if ok {
-			delete(c.pending, f.Seq)
+		slot := &c.slots[f.Seq&c.mask]
+		if slot.state == slotArmed && slot.seq == f.Seq {
+			slot.resp = f
+			if f.Exceeded != nil {
+				// The decoder reuses the Exceeded backing array across
+				// frames; a retained response needs its own copy.
+				slot.resp.Exceeded = append([]string(nil), f.Exceeded...)
+			}
+			slot.state = slotDone
+			slot.ready <- struct{}{}
 		}
 		c.mu.Unlock()
-		if ok {
-			ch <- f
-		}
 	}
 }
 
@@ -105,48 +215,230 @@ func (c *Client) fail(err error) {
 		c.err = err
 		close(c.done)
 	}
-	c.pending = make(map[uint64]chan Frame)
 	c.mu.Unlock()
+	c.flushTimer.Stop()
 	c.conn.Close()
 }
 
-// call sends a frame stamped with a fresh Seq and waits for its response.
-func (c *Client) call(f Frame) (Frame, error) {
-	ch := make(chan Frame, 1)
+// terminal reports the error a failed operation should surface: the
+// connection's terminal error when one is set (so every caller sees the
+// same ErrDraining / connection-lost cause rather than a raw net error from
+// a closed socket), otherwise the triggering error itself.
+func (c *Client) terminal(err error) error {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
-		return Frame{}, err
+		return c.err
 	}
-	seq := c.nextSeq
-	c.nextSeq++
-	c.pending[seq] = ch
-	c.mu.Unlock()
+	return err
+}
 
-	f.Seq = seq
+// Write-path modes: calls flush as soon as the last concurrent sender has
+// written (so a response is never stuck in the buffer), one-way frames wait
+// for company, and batch frames leave flushing to their caller entirely.
+type sendMode uint8
+
+const (
+	sendCall sendMode = iota
+	sendOneWay
+	sendBatch
+)
+
+// send encodes f into the write buffer and applies the coalescing flush
+// policy. On a write error the client is failed so all callers agree on the
+// terminal error.
+func (c *Client) send(f *Frame, mode sendMode) error {
 	c.sendMu.Lock()
-	err := c.enc.Encode(f)
+	c.enc = c.enc[:0]
+	var err error
+	c.enc, err = appendFrame(c.enc, f)
+	if err == nil {
+		_, err = c.bw.Write(c.enc)
+	}
+	if err == nil {
+		switch mode {
+		case sendCall:
+			c.needFlush = true
+		case sendOneWay:
+			c.unflushed++
+			if c.unflushed >= c.observeBurst {
+				c.needFlush = true
+			}
+		}
+		switch {
+		case c.needFlush && mode != sendBatch:
+			if mode == sendCall && c.armed.Load() <= 1 {
+				// Lockstep: ours is the only call in flight, so nothing else
+				// will ride along — flush inline and skip a scheduler hop.
+				err = c.flushLocked()
+			} else {
+				// Pipelined: let the flusher goroutine collapse this frame
+				// and everything concurrent senders buffer behind it into
+				// one write.
+				select {
+				case c.flushWake <- struct{}{}:
+				default:
+				}
+			}
+		case mode == sendOneWay && !c.flushArmed:
+			// Nothing forced a flush; make sure the observe still leaves
+			// within the latency bound.
+			c.flushArmed = true
+			c.flushTimer.Reset(c.flushInterval)
+		}
+	}
 	c.sendMu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return Frame{}, fmt.Errorf("serve: send: %w", err)
+		c.fail(err)
+		return c.terminal(err)
 	}
+	return nil
+}
 
+// flushLoop is the micro-batching flusher: woken when a reply-bearing frame
+// is buffered, it yields once so every runnable sender can append its frame,
+// then flushes the whole batch in one write. Under a deep pipeline this
+// collapses N frames into one syscall; when the client is idle it parks on
+// the wake channel and costs nothing.
+func (c *Client) flushLoop() {
+	for {
+		select {
+		case <-c.flushWake:
+		case <-c.done:
+			return
+		}
+		runtime.Gosched() // let runnable senders buffer their frames first
+		c.sendMu.Lock()
+		var err error
+		if c.bw.Buffered() > 0 {
+			err = c.flushLocked()
+		}
+		c.sendMu.Unlock()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+func (c *Client) flushLocked() error {
+	c.needFlush = false
+	c.unflushed = 0
+	return c.bw.Flush()
+}
+
+// flushNow forces buffered frames onto the wire; used by batch senders.
+func (c *Client) flushNow() error {
+	c.sendMu.Lock()
+	var err error
+	if c.bw.Buffered() > 0 {
+		err = c.flushLocked()
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return c.terminal(err)
+	}
+	return nil
+}
+
+// backgroundFlush runs on the flush timer: it pushes out one-way frames
+// that no later call flushed within the latency bound.
+func (c *Client) backgroundFlush() {
+	c.sendMu.Lock()
+	c.flushArmed = false
+	var err error
+	if c.bw.Buffered() > 0 {
+		err = c.flushLocked()
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+}
+
+// acquireSlot blocks until an in-flight slot is free, or the client dies.
+func (c *Client) acquireSlot() (uint32, error) {
 	select {
-	case resp := <-ch:
+	case idx := <-c.free:
+		return idx, nil
+	case <-c.done:
+		return 0, c.terminal(nil)
+	}
+}
+
+// armSlot claims slot idx for a new call and returns the sequence number a
+// response must echo to land in it.
+func (c *Client) armSlot(idx uint32) uint64 {
+	window := c.mask + 1
+	c.armed.Add(1)
+	c.mu.Lock()
+	slot := &c.slots[idx]
+	slot.seq += window // next generation for this slot; stays ≡ idx (mod window)
+	slot.state = slotArmed
+	seq := slot.seq
+	c.mu.Unlock()
+	return seq
+}
+
+// await parks until slot idx has a response or the client dies, then frees
+// the slot.
+func (c *Client) await(idx uint32) (Frame, error) {
+	slot := &c.slots[idx]
+	select {
+	case <-slot.ready:
+		c.mu.Lock()
+		resp := slot.resp
+		slot.state = slotFree
+		c.mu.Unlock()
+		c.armed.Add(-1)
+		c.free <- idx
 		if resp.Type == TypeError {
 			return Frame{}, fmt.Errorf("serve: %s", resp.Error)
 		}
 		return resp, nil
 	case <-c.done:
 		c.mu.Lock()
+		slot.state = slotFree
+		// A response may have raced the failure; clear its signal so the
+		// recycled slot starts clean.
+		select {
+		case <-slot.ready:
+		default:
+		}
 		err := c.err
 		c.mu.Unlock()
+		c.armed.Add(-1)
+		c.free <- idx
 		return Frame{}, err
 	}
+}
+
+// releaseSlot abandons an armed slot whose request never made it out.
+func (c *Client) releaseSlot(idx uint32) {
+	c.armed.Add(-1)
+	c.mu.Lock()
+	c.slots[idx].state = slotFree
+	select {
+	case <-c.slots[idx].ready:
+	default:
+	}
+	c.mu.Unlock()
+	c.free <- idx
+}
+
+// call sends a frame stamped with a fresh Seq and waits for its response.
+func (c *Client) call(f Frame) (Frame, error) {
+	idx, err := c.acquireSlot()
+	if err != nil {
+		return Frame{}, err
+	}
+	f.Seq = c.armSlot(idx)
+	if err := c.send(&f, sendCall); err != nil {
+		c.releaseSlot(idx)
+		return Frame{}, err
+	}
+	return c.await(idx)
 }
 
 // Allocate requests a first-attempt prediction for a task.
@@ -156,6 +448,83 @@ func (c *Client) Allocate(category string, taskID int) (resources.Vector, error)
 		return resources.Vector{}, err
 	}
 	return resp.Alloc, nil
+}
+
+// AllocateBatch requests first-attempt predictions for many tasks in one
+// coalesced write, pipelining up to the client's window without waiting for
+// individual responses. Results are appended to out (which may be nil) in
+// taskIDs order. On error the successfully collected prefix is returned
+// along with the first error.
+func (c *Client) AllocateBatch(category string, taskIDs []int, out []resources.Vector) ([]resources.Vector, error) {
+	if len(out) > 0 {
+		out = out[:0]
+	}
+	if len(taskIDs) == 0 {
+		return out, nil
+	}
+	pending := make([]uint32, 0, min(len(taskIDs), int(c.mask)+1))
+	collect := func() error {
+		idx := pending[0]
+		pending = pending[:copy(pending, pending[1:])]
+		resp, err := c.await(idx)
+		if err != nil {
+			return err
+		}
+		out = append(out, resp.Alloc)
+		return nil
+	}
+	var firstErr error
+	for _, id := range taskIDs {
+		var idx uint32
+		for {
+			select {
+			case idx = <-c.free:
+			default:
+				// No slot free. Drain one of our own outstanding requests —
+				// flushing first so its response can exist — rather than
+				// blocking on other callers' slots (two pipelining callers
+				// waiting on each other would deadlock).
+				if len(pending) > 0 {
+					if err := c.flushNow(); err != nil {
+						firstErr = err
+						break
+					}
+					if err := collect(); err != nil {
+						firstErr = err
+						break
+					}
+					continue
+				}
+				var err error
+				if idx, err = c.acquireSlot(); err != nil {
+					firstErr = err
+					break
+				}
+			}
+			break
+		}
+		if firstErr != nil {
+			break
+		}
+		f := Frame{Type: TypeRequest, Category: category, TaskID: id, Seq: c.armSlot(idx)}
+		if err := c.send(&f, sendBatch); err != nil {
+			c.releaseSlot(idx)
+			firstErr = err
+			break
+		}
+		pending = append(pending, idx)
+	}
+	if len(pending) > 0 {
+		if err := c.flushNow(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for len(pending) > 0 {
+			if err := collect(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return out, firstErr
 }
 
 // Retry requests an escalated prediction after an attempt that exhausted the
@@ -174,7 +543,10 @@ func (c *Client) Retry(category string, taskID int, prev resources.Vector, excee
 
 // Observe reports a completed task's peak usage and runtime. It is one-way:
 // the server applies observations in connection order, so a later Allocate
-// on this client is guaranteed to see it.
+// on this client is guaranteed to see it. Observes are flush-coalesced —
+// they ride along with the next request, an accumulated burst, or the flush
+// interval, whichever comes first. After the connection has failed, Observe
+// returns the same terminal error as every other method.
 func (c *Client) Observe(category string, taskID int, peak resources.Vector, runtime float64) error {
 	c.mu.Lock()
 	if c.err != nil {
@@ -183,13 +555,8 @@ func (c *Client) Observe(category string, taskID int, peak resources.Vector, run
 		return err
 	}
 	c.mu.Unlock()
-	c.sendMu.Lock()
-	err := c.enc.Encode(Frame{Type: TypeObserve, Category: category, TaskID: taskID, Peak: peak, Runtime: runtime})
-	c.sendMu.Unlock()
-	if err != nil {
-		return fmt.Errorf("serve: send: %w", err)
-	}
-	return nil
+	f := Frame{Type: TypeObserve, Category: category, TaskID: taskID, Peak: peak, Runtime: runtime}
+	return c.send(&f, sendOneWay)
 }
 
 // Ping round-trips a liveness frame.
@@ -214,5 +581,6 @@ func (c *Client) Stats() (TenantStats, error) {
 
 // Close hangs up. Pending calls fail with a connection-lost error.
 func (c *Client) Close() error {
+	c.flushTimer.Stop()
 	return c.conn.Close()
 }

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	"dynalloc/internal/resources"
+)
+
+// encodeStd is the reference encoding: exactly what the PR 7 wire format
+// produced via json.Encoder (compact JSON, HTML escaping, trailing newline).
+func encodeStd(t testing.TB, f *Frame) ([]byte, error) {
+	t.Helper()
+	b, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func TestAppendFrameMatchesEncodingJSON(t *testing.T) {
+	frames := []Frame{
+		{},
+		{Type: TypeRequest, Seq: 7, Category: "fit", TaskID: 42},
+		{Type: TypeAlloc, Seq: 1, Alloc: resources.New(4, 2000, 500, 3600)},
+		{Type: TypeRetry, Seq: 9, Category: "x", TaskID: 3,
+			Prev: resources.Vector{1.5, 2048, 0.001, 1e21}, Exceeded: []string{"memory", "time"}},
+		{Type: TypeObserve, Category: "c", TaskID: 1,
+			Peak: resources.Vector{-1e-7, 9.999999999999999e20, 1e-6, math.MaxFloat64}, Runtime: 12.25},
+		{Type: TypeRegister, Tenant: "a<b>&c", Algorithm: "greedy-bucketing", Seed: 18446744073709551615},
+		{Type: TypeError, Error: "line1\nline2\ttab \"quoted\" back\\slash"},
+		{Type: TypeError, Error: "control:\x01\x1f del:\x7f unicode:\u00e9\u2028\u2029 bad:\xff\xfe"},
+		{Type: TypeStats, Seq: 3, Stats: &TenantStats{
+			Tenant: "t", Connections: 2, Allocates: 100, Retries: 7,
+			Observes: 50, Decays: 1, Categories: 3, Records: 512}},
+		{Type: TypePong, Seq: 1, Runtime: 1e-9},
+		{Type: TypeAck, Runtime: -0.0},   // negative zero is non-zero for omitempty? (it is ==0: omitted)
+		{Type: "", Exceeded: []string{}}, // empty-but-non-nil list still omitted by omitempty
+	}
+	for i, f := range frames {
+		want, werr := encodeStd(t, &f)
+		got, gerr := appendFrame(nil, &f)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("frame %d: error mismatch: json=%v codec=%v", i, werr, gerr)
+		}
+		if werr != nil {
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d encoding mismatch:\n codec: %s\n  json: %s", i, got, want)
+		}
+	}
+}
+
+func TestAppendFrameNonFiniteFloat(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		f := Frame{Type: TypeObserve, Runtime: v}
+		if _, err := appendFrame(nil, &f); err == nil {
+			t.Errorf("appendFrame accepted non-finite runtime %v", v)
+		}
+		f = Frame{Type: TypeObserve, Peak: resources.Vector{0, v, 0, 0}}
+		if _, err := appendFrame(nil, &f); err == nil {
+			t.Errorf("appendFrame accepted non-finite vector element %v", v)
+		}
+	}
+}
+
+// TestDecodeFrameMatchesEncodingJSON pins the decoder to json.Unmarshal
+// semantics on hand-picked tricky documents: duplicate keys, case-folded
+// field names, unknown fields, nulls, short/long arrays, escapes.
+func TestDecodeFrameMatchesEncodingJSON(t *testing.T) {
+	docs := []string{
+		`{"type":"request","seq":5,"category":"fit","task_id":3,"prev":[0,0,0,0],"peak":[0,0,0,0],"alloc":[0,0,0,0]}`,
+		`null`,
+		`{}`,
+		` { "type" : "ping" } `,
+		`{"TYPE":"request","Task_ID":9}`,         // case-folded field match
+		`{"type":"a","type":"b"}`,                // last duplicate wins
+		`{"seq":null,"tenant":null,"prev":null}`, // null leaves zero values
+		`{"prev":[1,2]}`,                         // short array zero-pads
+		`{"prev":[1,2,3,4,5,6]}`,                 // long array: extras validated, discarded
+		`{"prev":[1,2,3,4],"prev":[9]}`,          // duplicate array re-zeroes tail
+		`{"exceeded":[]}`,                        // empty list decodes non-nil
+		`{"exceeded":["memory","time"],"exceeded":null}`, // null resets to nil
+		`{"exceeded":["a",null,"b"]}`,                    // null element -> ""
+		`{"unknown":{"deep":[1,{"x":null}]},"seq":2}`,
+		`{"stats":{"tenant":"t","records":7,"bogus":true}}`,
+		`{"stats":{"tenant":"t"},"stats":{"records":3}}`, // duplicate stats objects merge
+		`{"stats":null}`,
+		`{"error":"\u0041\u00e9\ud83d\ude00\t\\\" \ud800 \u2028"}`, // escapes incl. lone surrogate
+		`{"tenant":"caf\u00e9 ` + "\xc3\xa9 \xff" + `"}`,           // raw UTF-8 + invalid byte
+		`{"runtime":1e-9,"seq":12345678901234567890}`,
+		`{"runtime":-0.5e+3}`,
+	}
+	for _, doc := range docs {
+		var dec frameDecoder
+		var mine, std Frame
+		merr := dec.decode([]byte(doc), &mine)
+		serr := json.Unmarshal([]byte(doc), &std)
+		if (merr == nil) != (serr == nil) {
+			t.Fatalf("doc %q: error mismatch: codec=%v json=%v", doc, merr, serr)
+		}
+		if merr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(mine, std) {
+			t.Errorf("doc %q:\n codec: %+v\n  json: %+v", doc, mine, std)
+		}
+	}
+}
+
+// TestDecodeFrameRejects pins decode failures (and that they are reported as
+// *decodeError, which the server counts): every document here must fail both
+// decoders.
+func TestDecodeFrameRejects(t *testing.T) {
+	docs := []string{
+		``, `   `, `not json`, `{`, `{"type"}`, `{"type":}`, `{"type":"a"`,
+		`{"type":"a"} trailing`, `[1,2]`, `"frame"`, `123`, `true`,
+		`{"seq":-1}`, `{"seq":1.5}`, `{"seq":1e3}`, `{"task_id":"x"}`,
+		`{"runtime":01}`, `{"runtime":+1}`, `{"runtime":.5}`, `{"runtime":1.}`,
+		`{"prev":[1,}`, `{"prev":{"0":1}}`, `{"exceeded":[5]}`, `{"stats":[]}`,
+		`{"type":"bad \u12 escape"}`, `{"type":"bad \q"}`, "{\"type\":\"ctl \x01\"}",
+		`{"seq":18446744073709551616}`,
+	}
+	for _, doc := range docs {
+		var dec frameDecoder
+		var mine, std Frame
+		merr := dec.decode([]byte(doc), &mine)
+		serr := json.Unmarshal([]byte(doc), &std)
+		if serr == nil {
+			t.Fatalf("doc %q: expected json.Unmarshal to fail too; fix the test", doc)
+		}
+		if merr == nil {
+			t.Errorf("doc %q: codec accepted a document json rejects", doc)
+			continue
+		}
+		var de *decodeError
+		if !asDecodeError(merr, &de) {
+			t.Errorf("doc %q: error %v is not a *decodeError", doc, merr)
+		}
+	}
+}
+
+func asDecodeError(err error, target **decodeError) bool {
+	de, ok := err.(*decodeError)
+	if ok {
+		*target = de
+	}
+	return ok
+}
+
+// TestFrameReader exercises the stream framing layer: one-byte reads (frame
+// split across fills), frames larger than the initial buffer, blank-line
+// skipping, and a final unterminated line at EOF.
+func TestFrameReader(t *testing.T) {
+	big := strings.Repeat("x", 10000) // forces buffer growth past 4096
+	frames := []Frame{
+		{Type: TypeRequest, Seq: 1, Category: "fit", TaskID: 1},
+		{Type: TypeObserve, Category: big, TaskID: 2, Peak: resources.New(1, 2, 3, 4), Runtime: 5},
+		{Type: TypePing, Seq: 3},
+	}
+	var wire bytes.Buffer
+	for i, f := range frames {
+		b, err := appendFrame(nil, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire.Write(b)
+		if i == 0 {
+			wire.WriteString("\r\n  \n") // blank lines between frames are skipped
+		}
+	}
+	// Final frame without its trailing newline: parsed at EOF.
+	last := Frame{Type: TypePong, Seq: 4}
+	b, err := appendFrame(nil, &last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire.Write(bytes.TrimSuffix(b, []byte("\n")))
+	want := append(frames, last)
+
+	for name, r := range map[string]io.Reader{
+		"one-byte-reads": iotest.OneByteReader(bytes.NewReader(wire.Bytes())),
+		"single-read":    bytes.NewReader(wire.Bytes()),
+	} {
+		fr := newFrameReader(r)
+		var got Frame
+		for i, w := range want {
+			if err := fr.next(&got); err != nil {
+				t.Fatalf("%s: frame %d: %v", name, i, err)
+			}
+			// Clone scratch-aliasing fields before the next decode.
+			if got.Exceeded != nil {
+				got.Exceeded = append([]string(nil), got.Exceeded...)
+			}
+			if !reflect.DeepEqual(got, w) {
+				t.Fatalf("%s: frame %d:\n got %+v\nwant %+v", name, i, got, w)
+			}
+		}
+		if err := fr.next(&got); err != io.EOF {
+			t.Fatalf("%s: expected EOF after last frame, got %v", name, err)
+		}
+	}
+}
+
+// FuzzFrameCodec is the byte-compatibility pin for the encoder and the
+// value-compatibility pin for the decoder: for any frame, appendFrame must
+// produce exactly json.Encoder's bytes, and decoding those bytes must match
+// json.Unmarshal field for field (twice, to prove scratch reuse is sound).
+func FuzzFrameCodec(f *testing.F) {
+	f.Add("request", "ten", "alg", "fit", "", "", uint64(1), uint64(0), 3, 1.5, 2048.0, 30.25, false, int64(0))
+	f.Add("retry", "", "", "x", "", "memory", uint64(9), uint64(7), -1, 1e-7, 1e21, -0.0, false, int64(0))
+	f.Add("stats", "a<b>&c\u2028", "", "", "oom \xff\xfe", "", uint64(0), uint64(0), 0, math.MaxFloat64, 5e-324, 0.1, true, int64(-3))
+	f.Add("error", "line\nbreak", "", "", "tab\t\"q\"", "", uint64(2), uint64(3), 12, math.NaN(), 0.0, 0.0, true, int64(99))
+	f.Fuzz(func(t *testing.T, typ, tenant, alg, category, errStr, exc string,
+		seq, seed uint64, taskID int, a, b, rt float64, hasStats bool, statsN int64) {
+		fr := Frame{
+			Type: typ, Seq: seq, Tenant: tenant, Algorithm: alg, Seed: seed,
+			Category: category, TaskID: taskID,
+			Prev:    resources.Vector{a, b, -a, a + b},
+			Peak:    resources.Vector{b, rt, a * 2, -b},
+			Runtime: rt,
+			Alloc:   resources.Vector{-rt, a, b, rt},
+			Error:   errStr,
+		}
+		if exc != "" {
+			fr.Exceeded = []string{exc, "memory"}
+		}
+		if hasStats {
+			fr.Stats = &TenantStats{
+				Tenant: tenant, Connections: taskID, Allocates: statsN,
+				Retries: statsN / 2, Observes: -statsN, Decays: statsN % 7,
+				Categories: int(seq % 100), Records: taskID / 3,
+			}
+		}
+		want, werr := encodeStd(t, &fr)
+		got, gerr := appendFrame(nil, &fr)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error mismatch: json=%v codec=%v (frame %+v)", werr, gerr, fr)
+		}
+		if werr != nil {
+			return // non-finite float; both reject
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encoding mismatch:\n codec: %s\n  json: %s", got, want)
+		}
+		line := got[:len(got)-1]
+		var dec frameDecoder
+		var mine, std Frame
+		if err := dec.decode(line, &mine); err != nil {
+			t.Fatalf("codec rejected its own encoding %s: %v", line, err)
+		}
+		if err := json.Unmarshal(line, &std); err != nil {
+			t.Fatalf("json rejected codec encoding %s: %v", line, err)
+		}
+		if !reflect.DeepEqual(mine, std) {
+			t.Fatalf("decode mismatch:\n codec: %+v\n  json: %+v", mine, std)
+		}
+		// Second decode through the same decoder: the reused scratch (intern
+		// table, exceeded backing array, string buffer) must not leak state.
+		var again Frame
+		if err := dec.decode(line, &again); err != nil {
+			t.Fatalf("second decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, std) {
+			t.Fatalf("second decode diverged:\n codec: %+v\n  json: %+v", again, std)
+		}
+	})
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to the decoder and requires exact
+// agreement with json.Unmarshal: same accept/reject verdict, and identical
+// Frame values on accept.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"request","seq":1,"prev":[1,2,3,4]}`))
+	f.Add([]byte(`{"TYPE":"x","stats":{"tenant":"t"},"stats":{"records":1}}`))
+	f.Add([]byte(`{"exceeded":["a",null],"unknown":[{"k":[true,false,null]}]}`))
+	f.Add([]byte(`{"error":"\ud83d\ude00\ud800\u2028"}`))
+	f.Add([]byte(` null `))
+	f.Add([]byte(`{"seq":1e3}`))
+	f.Add([]byte("{\"tenant\":\"\xc3\xa9\xff\"}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec frameDecoder
+		var mine, std Frame
+		merr := dec.decode(data, &mine)
+		serr := json.Unmarshal(data, &std)
+		if (merr == nil) != (serr == nil) {
+			t.Fatalf("verdict mismatch on %q: codec=%v json=%v", data, merr, serr)
+		}
+		if merr != nil {
+			return
+		}
+		if !reflect.DeepEqual(mine, std) {
+			t.Fatalf("decode mismatch on %q:\n codec: %+v\n  json: %+v", data, mine, std)
+		}
+	})
+}

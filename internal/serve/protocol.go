@@ -19,6 +19,16 @@
 // any later request on the same connection. The server's Close mirrors
 // wq.Manager.Close: stop accepting, notify every client with a drain frame,
 // and give in-flight connections a bounded grace period to finish.
+//
+// The frames are ordinary JSON on the wire but never touch encoding/json on
+// the hot path: both sides use the hand-rolled codec in codec.go (pinned
+// byte- and value-compatible with encoding/json by fuzz tests, so stock-JSON
+// clients interoperate unchanged), buffer their writes, and flush on a
+// coalescing policy rather than per frame. The Client pipelines — many
+// goroutines can have calls in flight on one connection, bounded by
+// WithPipelineWindow, with AllocateBatch for bulk request streams — and a
+// steady-state round trip allocates nothing on either side. See DESIGN.md
+// §15 for the full wire performance model.
 package serve
 
 import (

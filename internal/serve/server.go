@@ -1,12 +1,13 @@
 package serve
 
 import (
-	"encoding/json"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynalloc/internal/allocator"
@@ -39,19 +40,52 @@ type Server struct {
 	connWG    sync.WaitGroup
 
 	tenantsEvicted int64
+	decodeErrors   atomic.Int64
 }
 
+// serverConn is one client connection. All of its frame scratch (the decoded
+// request, the reply under construction, the encode buffer, the parsed
+// exceeded-kind list) is connection-owned and reused across frames, so the
+// steady-state request path performs no per-frame allocation.
 type serverConn struct {
 	conn   net.Conn
-	enc    *json.Encoder
-	sendMu sync.Mutex
-	tenant *tenant // nil until the register frame lands
+	sendMu sync.Mutex // guards bw and enc (drain frames arrive off-goroutine)
+	bw     *bufio.Writer
+	enc    []byte // appendFrame scratch
+	tenant *tenant
+
+	// Scratch owned by the serveConn goroutine.
+	req      Frame
+	reply    Frame
+	exceeded []resources.Kind
 }
 
-func (c *serverConn) send(f Frame) error {
+// send encodes f into the connection's write buffer. Replies are coalesced:
+// the buffer is flushed by serveConn only when the read side is about to
+// block (or when flush is forced, e.g. for drain and pre-hangup error
+// frames), so N pipelined requests cost one write syscall.
+func (c *serverConn) send(f *Frame, flush bool) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.enc.Encode(f)
+	c.enc = c.enc[:0]
+	var err error
+	c.enc, err = appendFrame(c.enc, f)
+	if err == nil {
+		_, err = c.bw.Write(c.enc)
+	}
+	if err == nil && flush {
+		err = c.bw.Flush()
+	}
+	return err
+}
+
+func (c *serverConn) flush() error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.bw.Buffered() == 0 {
+		return nil
+	}
+	return c.bw.Flush()
 }
 
 // ServerOption configures a Server.
@@ -138,7 +172,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
-		c := &serverConn{conn: conn, enc: json.NewEncoder(conn)}
+		c := &serverConn{conn: conn, bw: bufio.NewWriterSize(conn, 16<<10)}
 		s.conns[c] = struct{}{}
 		s.connWG.Add(1)
 		s.mu.Unlock()
@@ -178,7 +212,7 @@ func (s *Server) sweepLoop() {
 // Re-registering an existing tenant attaches to its live state (algorithm
 // and seed of the first registration win), so reconnecting clients continue
 // the learned stream.
-func (s *Server) register(f Frame) (*tenant, error) {
+func (s *Server) register(f *Frame) (*tenant, error) {
 	if f.Tenant == "" {
 		return nil, fmt.Errorf("serve: register frame without tenant name")
 	}
@@ -225,27 +259,47 @@ func (s *Server) serveConn(c *serverConn) {
 		}
 	}()
 
-	dec := json.NewDecoder(c.conn)
+	fr := newFrameReader(c.conn)
+	var derr *decodeError
 	for {
-		var f Frame
-		if err := dec.Decode(&f); err != nil {
+		// Flush coalesced replies exactly when the reader is about to block:
+		// while a pipelining client keeps complete frames buffered, replies
+		// accumulate and go out in one write.
+		if !fr.buffered() {
+			if err := c.flush(); err != nil {
+				return
+			}
+		}
+		if err := fr.next(&c.req); err != nil {
+			if errors.As(err, &derr) {
+				// A malformed frame poisons the stream (framing can no
+				// longer be trusted): count it, tell the client why, and
+				// hang up.
+				s.decodeErrors.Add(1)
+				c.reply = Frame{Type: TypeError, Error: derr.Error()}
+				_ = c.send(&c.reply, true)
+			}
 			return
 		}
+		f := &c.req
 		if c.tenant == nil {
 			// The first frame must register a tenant; anything else is a
 			// protocol error the client can read before we hang up.
 			if f.Type != TypeRegister {
-				_ = c.send(Frame{Type: TypeError, Seq: f.Seq,
-					Error: fmt.Sprintf("first frame must be %q, got %q", TypeRegister, f.Type)})
+				c.reply = Frame{Type: TypeError, Seq: f.Seq,
+					Error: fmt.Sprintf("first frame must be %q, got %q", TypeRegister, f.Type)}
+				_ = c.send(&c.reply, true)
 				return
 			}
 			t, err := s.register(f)
 			if err != nil {
-				_ = c.send(Frame{Type: TypeError, Seq: f.Seq, Error: err.Error()})
+				c.reply = Frame{Type: TypeError, Seq: f.Seq, Error: err.Error()}
+				_ = c.send(&c.reply, true)
 				return
 			}
 			c.tenant = t
-			if err := c.send(Frame{Type: TypeAck, Seq: f.Seq, Tenant: t.name, Algorithm: string(t.alg)}); err != nil {
+			c.reply = Frame{Type: TypeAck, Seq: f.Seq, Tenant: t.name, Algorithm: string(t.alg)}
+			if err := c.send(&c.reply, true); err != nil {
 				return
 			}
 			continue
@@ -256,36 +310,44 @@ func (s *Server) serveConn(c *serverConn) {
 	}
 }
 
-// handleFrame serves one post-registration frame. A returned error means the
-// connection is beyond saving (write failed); protocol-level problems are
-// reported to the client as error frames instead.
-func (s *Server) handleFrame(c *serverConn, f Frame) error {
+// handleFrame serves one post-registration frame, reusing the connection's
+// reply and exceeded scratch. A returned error means the connection is
+// beyond saving (write failed); protocol-level problems are reported to the
+// client as error frames instead.
+func (s *Server) handleFrame(c *serverConn, f *Frame) error {
 	t := c.tenant
 	switch f.Type {
 	case TypeRequest:
-		return c.send(Frame{Type: TypeAlloc, Seq: f.Seq, Alloc: t.allocate(f.Category, f.TaskID)})
+		c.reply = Frame{Type: TypeAlloc, Seq: f.Seq, Alloc: t.allocate(f.Category, f.TaskID)}
+		return c.send(&c.reply, false)
 	case TypeRetry:
-		exceeded := make([]resources.Kind, 0, len(f.Exceeded))
+		c.exceeded = c.exceeded[:0]
 		for _, name := range f.Exceeded {
 			k, err := resources.ParseKind(name)
 			if err != nil {
-				return c.send(Frame{Type: TypeError, Seq: f.Seq, Error: err.Error()})
+				c.reply = Frame{Type: TypeError, Seq: f.Seq, Error: err.Error()}
+				return c.send(&c.reply, false)
 			}
-			exceeded = append(exceeded, k)
+			c.exceeded = append(c.exceeded, k)
 		}
-		return c.send(Frame{Type: TypeAlloc, Seq: f.Seq, Alloc: t.retry(f.Category, f.TaskID, f.Prev, exceeded)})
+		c.reply = Frame{Type: TypeAlloc, Seq: f.Seq, Alloc: t.retry(f.Category, f.TaskID, f.Prev, c.exceeded)}
+		return c.send(&c.reply, false)
 	case TypeObserve:
 		t.observe(f.Category, f.TaskID, f.Peak, f.Runtime)
 		return nil
 	case TypePing:
-		return c.send(Frame{Type: TypePong, Seq: f.Seq})
+		c.reply = Frame{Type: TypePong, Seq: f.Seq}
+		return c.send(&c.reply, false)
 	case TypeStats:
 		snap := t.snapshot()
-		return c.send(Frame{Type: TypeStats, Seq: f.Seq, Stats: &snap})
+		c.reply = Frame{Type: TypeStats, Seq: f.Seq, Stats: &snap}
+		return c.send(&c.reply, false)
 	case TypeRegister:
-		return c.send(Frame{Type: TypeError, Seq: f.Seq, Error: "connection already registered"})
+		c.reply = Frame{Type: TypeError, Seq: f.Seq, Error: "connection already registered"}
+		return c.send(&c.reply, false)
 	default:
-		return c.send(Frame{Type: TypeError, Seq: f.Seq, Error: fmt.Sprintf("unknown frame type %q", f.Type)})
+		c.reply = Frame{Type: TypeError, Seq: f.Seq, Error: fmt.Sprintf("unknown frame type %q", f.Type)}
+		return c.send(&c.reply, false)
 	}
 }
 
@@ -301,6 +363,15 @@ func (s *Server) TenantsEvicted() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tenantsEvicted
+}
+
+// DecodeErrors returns how many malformed frames the server has rejected
+// across all connections. A nonzero count means some peer is sending
+// garbage: each such frame is answered with an error frame, counted here,
+// and its connection closed (a malformed line means the stream's framing
+// can no longer be trusted).
+func (s *Server) DecodeErrors() int64 {
+	return s.decodeErrors.Load()
 }
 
 // Stats returns a snapshot of every live tenant's counters, sorted by
@@ -347,7 +418,8 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		// A failed drain write means the client is already gone; its
 		// connection goroutine is unwinding on its own.
-		_ = c.send(Frame{Type: TypeDrain})
+		drain := Frame{Type: TypeDrain}
+		_ = c.send(&drain, true)
 	}
 
 	done := make(chan struct{})
