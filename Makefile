@@ -33,7 +33,19 @@ SERVE_MAX_ALLOCS = 8
 # allocation.
 STREAM_MAX_ALLOCS = 200000
 
-.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke bench-stream bench-stream-smoke serve-bench serve-bench-smoke whatif-smoke short ci clean
+# The live work-queue engine scenarios: full manager->worker->manager round
+# trips over in-memory loopback connections at 1/8/64 workers plus the
+# worker-churn overlay; these feed BENCH_wq.json (which also keeps the
+# pre-codec encoding/json baseline entries for the before/after pair).
+BENCH_WQ_PKGS = ./internal/wq
+BENCH_WQ_PATTERN = 'BenchmarkWQ'
+# Ceiling for the live-engine smoke run: a steady-state round trip costs 4
+# allocs/op (outcome channel, task state, and reader/executor handoff); the
+# headroom covers driver/executor goroutine spin-up amortized across the
+# smoke iterations. Past this the wire hot path started allocating again.
+WQ_MAX_ALLOCS = 8
+
+.PHONY: all build test race test-live vet bench bench-smoke bench-alloc bench-alloc-smoke bench-stream bench-stream-smoke serve-bench serve-bench-smoke wq-bench wq-bench-smoke whatif-smoke short ci clean
 
 all: build
 
@@ -109,6 +121,19 @@ serve-bench:
 serve-bench-smoke:
 	$(GO) test $(BENCH_SERVE_PKGS) -run '^$$' -bench $(BENCH_SERVE_PATTERN) -benchmem -benchtime 1000x | $(GO) run ./cmd/benchfmt -max-allocs $(SERVE_MAX_ALLOCS) -out BENCH_serve.json
 
+# Full live-engine benchmark: sustained dispatch/result round trips through
+# the wq manager and workers over loopback transport, merged into
+# BENCH_wq.json so the recorded encoding/json baseline entries survive as
+# the comparison point.
+wq-bench:
+	$(GO) test $(BENCH_WQ_PKGS) -run '^$$' -bench $(BENCH_WQ_PATTERN) -benchmem | $(GO) run ./cmd/benchfmt -merge -out BENCH_wq.json
+
+# ci smoke of the live engine, with the per-round-trip allocs/op ceiling
+# enforced so the frame hot path cannot silently start allocating. 2000
+# iterations amortize the driver/executor goroutine spin-up below ~1/op.
+wq-bench-smoke:
+	$(GO) test $(BENCH_WQ_PKGS) -run '^$$' -bench $(BENCH_WQ_PATTERN) -benchmem -benchtime 2000x | $(GO) run ./cmd/benchfmt -merge -max-allocs $(WQ_MAX_ALLOCS) -out BENCH_wq.json
+
 # End-to-end smoke of the record -> replay -> what-if loop: record a small
 # DES run on a churny pool, verify the fidelity replay reproduces the
 # recorded footer bit-identically, and rank two counterfactual allocators
@@ -119,7 +144,7 @@ whatif-smoke:
 		-des -pool churn:8:600:120:2000 -log "$$tmp/rec.jsonl" >/dev/null 2>&1 && \
 	$(GO) run ./cmd/whatif -fidelity -algorithms greedy-bucketing,max-seen -j 2 "$$tmp/rec.jsonl"
 
-ci: vet build test race test-live whatif-smoke bench-smoke bench-alloc-smoke bench-stream-smoke serve-bench-smoke
+ci: vet build test race test-live whatif-smoke bench-smoke bench-alloc-smoke bench-stream-smoke serve-bench-smoke wq-bench-smoke
 
 clean:
 	rm -rf figures-out

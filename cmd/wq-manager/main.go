@@ -115,6 +115,8 @@ func main() {
 		st.Dispatches, st.Successes, st.Exhaustions, st.Evictions, st.Failures, st.Requeues)
 	fmt.Printf("        heartbeat_timeouts=%d workers_lost=%d peak_queue=%d peak_workers=%d\n",
 		st.HeartbeatTimeouts, st.WorkersLost, st.PeakQueue, st.PeakWorkers)
+	fmt.Printf("        frames_sent=%d flush_batches=%d decode_errors=%d\n",
+		st.FramesSent, st.FlushBatches, st.DecodeErrors)
 	wtab := report.New("per-worker utilization",
 		"worker", "connected", "dispatched", "successes", "exhaustions", "evictions", "busy (virtual s)")
 	for _, ws := range st.Workers {

@@ -1,0 +1,711 @@
+package jsonwire
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+	"unsafe"
+
+	"dynalloc/internal/resources"
+)
+
+// DecodeError marks a malformed frame, as opposed to an I/O error on the
+// underlying connection. Protocol servers count these separately and report
+// them to the peer before hanging up.
+type DecodeError struct{ msg string }
+
+func (e *DecodeError) Error() string { return "jsonwire: decode frame: " + e.msg }
+
+// Decoder parses one newline-delimited JSON document per DecodeObject call,
+// reusing all of its scratch (string intern table, string-list backing
+// array, unescape buffer) across calls so the steady-state decode path
+// allocates nothing. The zero value is ready to use; a Decoder must not be
+// shared between goroutines.
+//
+// Value semantics match json.Unmarshal into a fresh struct: case-folded
+// field matching (see FoldEqual), last-duplicate-wins, null leaves scalars
+// at their current value and sets slices/pointers to nil, fixed-size vectors
+// zero-pad short arrays and validate-then-discard extra elements, and
+// unknown fields are skipped after validation.
+type Decoder struct {
+	data  []byte
+	pos   int
+	depth int
+
+	strings map[string]string // intern table: hot strings decode alloc-free
+	listBuf []string          // backing scratch for Strings fields
+	strBuf  []byte            // scratch for unescaping strings
+}
+
+// bstr views b as a string without copying. Used only to feed strconv
+// parsers, which do not retain their argument; the byte slice is part of the
+// decoder's input buffer and outlives the call.
+func bstr(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// Errf builds a *DecodeError; protocol field callbacks use it for their own
+// validation failures so every malformed-frame error is one type.
+func (d *Decoder) Errf(format string, args ...any) error {
+	return &DecodeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// DecodeObject parses line (one JSON document, no trailing newline) as an
+// object, invoking field(key) for every key with the decoder positioned on
+// the value's first byte. The caller zeroes its target struct first; a bare
+// "null" document then leaves it zeroed, as json.Unmarshal would leave a
+// fresh struct.
+func (d *Decoder) DecodeObject(line []byte, field func(key []byte) error) error {
+	d.data, d.pos, d.depth = line, 0, 0
+	d.skipWS()
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	var err error
+	switch d.data[d.pos] {
+	case 'n':
+		err = d.literal("null")
+	case '{':
+		err = d.object(field)
+	default:
+		err = d.Errf("frame must be a JSON object")
+	}
+	if err != nil {
+		return err
+	}
+	d.skipWS()
+	if d.pos != len(d.data) {
+		return d.Errf("trailing data after frame")
+	}
+	return nil
+}
+
+func (d *Decoder) skipWS() {
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\r', '\n':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (d *Decoder) literal(lit string) error {
+	if len(d.data)-d.pos < len(lit) || string(d.data[d.pos:d.pos+len(lit)]) != lit {
+		return d.Errf("invalid literal at offset %d", d.pos)
+	}
+	d.pos += len(lit)
+	return nil
+}
+
+func (d *Decoder) push() error {
+	d.depth++
+	if d.depth > maxNestingDepth {
+		return d.Errf("exceeded max nesting depth")
+	}
+	return nil
+}
+
+// Null consumes a JSON null value if one is next and reports whether it did.
+// Field decoders for nested objects use it before dispatching on the value
+// shape.
+func (d *Decoder) Null() (bool, error) {
+	if d.pos >= len(d.data) {
+		return false, d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] != 'n' {
+		return false, nil
+	}
+	return true, d.literal("null")
+}
+
+// Object walks the key/value pairs of the JSON object at the current
+// position, invoking field(key) for every value (with the decoder on the
+// value's first byte). The value must be an object; callers that accept null
+// check Null first.
+func (d *Decoder) Object(field func(key []byte) error) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] != '{' {
+		return d.Errf("expected object at offset %d", d.pos)
+	}
+	return d.object(field)
+}
+
+// object steps through the key/value pairs of the JSON object at d.pos
+// (which the caller has verified is '{'), invoking field(key) for every
+// value. It factors the brace/comma/colon walk shared by every frame shape.
+func (d *Decoder) object(field func(key []byte) error) error {
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.pos++ // '{'
+	d.skipWS()
+	if d.pos < len(d.data) && d.data[d.pos] == '}' {
+		d.pos++
+		d.depth--
+		return nil
+	}
+	for {
+		d.skipWS()
+		if d.pos >= len(d.data) || d.data[d.pos] != '"' {
+			return d.Errf("expected object key at offset %d", d.pos)
+		}
+		key, err := d.str()
+		if err != nil {
+			return err
+		}
+		d.skipWS()
+		if d.pos >= len(d.data) || d.data[d.pos] != ':' {
+			return d.Errf("expected ':' at offset %d", d.pos)
+		}
+		d.pos++
+		d.skipWS()
+		if err := field(key); err != nil {
+			return err
+		}
+		d.skipWS()
+		if d.pos >= len(d.data) {
+			return d.Errf("unterminated object")
+		}
+		switch d.data[d.pos] {
+		case ',':
+			d.pos++
+		case '}':
+			d.pos++
+			d.depth--
+			return nil
+		default:
+			return d.Errf("expected ',' or '}' at offset %d", d.pos)
+		}
+	}
+}
+
+// FoldEqual matches encoding/json's field-name folding, which is defined as
+// bytes.EqualFold (ASCII fast path handled there). Protocol field resolvers
+// use it for the fold-match tie-break after exact matching fails.
+func FoldEqual(key []byte, name string) bool {
+	return len(key) == len(name) && bytes.EqualFold(key, []byte(name))
+}
+
+// Field decoders. Each is entered with the decoder on the value's first
+// byte. JSON null leaves a scalar target unchanged, matching encoding/json.
+
+// String decodes a JSON string into dst, interning the value so repeated
+// strings (frame types, category names, resource-kind names) decode
+// alloc-free.
+func (d *Decoder) String(dst *string) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] == 'n' {
+		return d.literal("null")
+	}
+	if d.data[d.pos] != '"' {
+		return d.Errf("expected string at offset %d", d.pos)
+	}
+	b, err := d.str()
+	if err != nil {
+		return err
+	}
+	*dst = d.intern(b)
+	return nil
+}
+
+// Uint decodes a JSON number into a uint64.
+func (d *Decoder) Uint(dst *uint64) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] == 'n' {
+		return d.literal("null")
+	}
+	tok, err := d.scanNumber()
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(bstr(tok), 10, 64)
+	if err != nil {
+		return d.Errf("cannot decode number %s as uint64", tok)
+	}
+	*dst = v
+	return nil
+}
+
+// Int decodes a JSON number into an int.
+func (d *Decoder) Int(dst *int) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] == 'n' {
+		return d.literal("null")
+	}
+	tok, err := d.scanNumber()
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseInt(bstr(tok), 10, strconv.IntSize)
+	if err != nil {
+		return d.Errf("cannot decode number %s as int", tok)
+	}
+	*dst = int(v)
+	return nil
+}
+
+// Int64 decodes a JSON number into an int64.
+func (d *Decoder) Int64(dst *int64) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] == 'n' {
+		return d.literal("null")
+	}
+	tok, err := d.scanNumber()
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseInt(bstr(tok), 10, 64)
+	if err != nil {
+		return d.Errf("cannot decode number %s as int64", tok)
+	}
+	*dst = v
+	return nil
+}
+
+// Float decodes a JSON number into a float64.
+func (d *Decoder) Float(dst *float64) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] == 'n' {
+		return d.literal("null")
+	}
+	tok, err := d.scanNumber()
+	if err != nil {
+		return err
+	}
+	if v, ok := fastParseFloat(tok); ok {
+		*dst = v
+		return nil
+	}
+	v, err := strconv.ParseFloat(bstr(tok), 64)
+	if err != nil {
+		return d.Errf("cannot decode number %s as float64", tok)
+	}
+	*dst = v
+	return nil
+}
+
+// fastParseFloat converts a plain-integer token of at most 15 digits (exact
+// in float64) without strconv's general-path cost. The token has already
+// passed scanNumber's JSON syntax check, so any non-digit routes to the slow
+// path. A "-0" token returns negative zero, as ParseFloat does.
+func fastParseFloat(tok []byte) (float64, bool) {
+	i := 0
+	neg := false
+	if tok[0] == '-' {
+		neg = true
+		i = 1
+	}
+	if len(tok)-i == 0 || len(tok)-i > 15 {
+		return 0, false
+	}
+	var n int64
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	f := float64(n)
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+// Vector decodes a JSON array into a fixed-size vector with encoding/json's
+// array semantics: extra elements are validated but discarded, missing
+// elements zero the tail, null leaves the array unchanged.
+func (d *Decoder) Vector(v *resources.Vector) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] == 'n' {
+		return d.literal("null")
+	}
+	if d.data[d.pos] != '[' {
+		return d.Errf("expected array at offset %d", d.pos)
+	}
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.pos++
+	d.skipWS()
+	n := 0
+	if d.pos < len(d.data) && d.data[d.pos] == ']' {
+		d.pos++
+		d.depth--
+		for ; n < int(resources.NumKinds); n++ {
+			v[n] = 0
+		}
+		return nil
+	}
+	for {
+		d.skipWS()
+		if n < int(resources.NumKinds) {
+			if err := d.Float(&v[n]); err != nil {
+				return err
+			}
+		} else if err := d.Skip(); err != nil {
+			return err
+		}
+		n++
+		d.skipWS()
+		if d.pos >= len(d.data) {
+			return d.Errf("unterminated array")
+		}
+		switch d.data[d.pos] {
+		case ',':
+			d.pos++
+		case ']':
+			d.pos++
+			d.depth--
+			for ; n < int(resources.NumKinds); n++ {
+				v[n] = 0
+			}
+			return nil
+		default:
+			return d.Errf("expected ',' or ']' at offset %d", d.pos)
+		}
+	}
+}
+
+// Strings decodes a JSON array of strings into the decoder's reused backing
+// array (null sets *dst to nil, matching json.Unmarshal's slice semantics).
+// The elements are interned, so steady-state decodes are alloc-free. The
+// assigned slice is valid only until the next decode; callers that retain
+// the frame copy it.
+func (d *Decoder) Strings(dst *[]string) error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	if d.data[d.pos] == 'n' {
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		*dst = nil
+		return nil
+	}
+	if d.data[d.pos] != '[' {
+		return d.Errf("expected array at offset %d", d.pos)
+	}
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.pos++
+	if d.listBuf == nil {
+		d.listBuf = make([]string, 0, 4)
+	}
+	d.listBuf = d.listBuf[:0]
+	d.skipWS()
+	if d.pos < len(d.data) && d.data[d.pos] == ']' {
+		d.pos++
+		d.depth--
+		*dst = d.listBuf
+		return nil
+	}
+	for {
+		d.skipWS()
+		var s string
+		if err := d.String(&s); err != nil {
+			return err
+		}
+		d.listBuf = append(d.listBuf, s)
+		d.skipWS()
+		if d.pos >= len(d.data) {
+			return d.Errf("unterminated array")
+		}
+		switch d.data[d.pos] {
+		case ',':
+			d.pos++
+		case ']':
+			d.pos++
+			d.depth--
+			*dst = d.listBuf
+			return nil
+		default:
+			return d.Errf("expected ',' or ']' at offset %d", d.pos)
+		}
+	}
+}
+
+// Skip validates and steps over one JSON value of any shape.
+func (d *Decoder) Skip() error {
+	if d.pos >= len(d.data) {
+		return d.Errf("unexpected end of input")
+	}
+	switch c := d.data[d.pos]; {
+	case c == '{':
+		return d.object(func([]byte) error { return d.Skip() })
+	case c == '[':
+		if err := d.push(); err != nil {
+			return err
+		}
+		d.pos++
+		d.skipWS()
+		if d.pos < len(d.data) && d.data[d.pos] == ']' {
+			d.pos++
+			d.depth--
+			return nil
+		}
+		for {
+			d.skipWS()
+			if err := d.Skip(); err != nil {
+				return err
+			}
+			d.skipWS()
+			if d.pos >= len(d.data) {
+				return d.Errf("unterminated array")
+			}
+			switch d.data[d.pos] {
+			case ',':
+				d.pos++
+			case ']':
+				d.pos++
+				d.depth--
+				return nil
+			default:
+				return d.Errf("expected ',' or ']' at offset %d", d.pos)
+			}
+		}
+	case c == '"':
+		_, err := d.scanString()
+		return err
+	case c == 't':
+		return d.literal("true")
+	case c == 'f':
+		return d.literal("false")
+	case c == 'n':
+		return d.literal("null")
+	default:
+		_, err := d.scanNumber()
+		return err
+	}
+}
+
+// scanNumber validates JSON number grammar (stricter than strconv: no hex,
+// no leading '+', '.', or zero-padding) and returns the token.
+func (d *Decoder) scanNumber() ([]byte, error) {
+	start := d.pos
+	if d.pos < len(d.data) && d.data[d.pos] == '-' {
+		d.pos++
+	}
+	switch {
+	case d.pos >= len(d.data):
+		return nil, d.Errf("invalid number at offset %d", start)
+	case d.data[d.pos] == '0':
+		d.pos++
+	case d.data[d.pos] >= '1' && d.data[d.pos] <= '9':
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+		}
+	default:
+		return nil, d.Errf("invalid number at offset %d", start)
+	}
+	if d.pos < len(d.data) && d.data[d.pos] == '.' {
+		d.pos++
+		if d.pos >= len(d.data) || d.data[d.pos] < '0' || d.data[d.pos] > '9' {
+			return nil, d.Errf("invalid number at offset %d", start)
+		}
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+		}
+	}
+	if d.pos < len(d.data) && (d.data[d.pos] == 'e' || d.data[d.pos] == 'E') {
+		d.pos++
+		if d.pos < len(d.data) && (d.data[d.pos] == '+' || d.data[d.pos] == '-') {
+			d.pos++
+		}
+		if d.pos >= len(d.data) || d.data[d.pos] < '0' || d.data[d.pos] > '9' {
+			return nil, d.Errf("invalid number at offset %d", start)
+		}
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+		}
+	}
+	return d.data[start:d.pos], nil
+}
+
+// scanString validates the string at d.pos and returns the raw (still
+// escaped) span between the quotes, advancing past the closing quote.
+func (d *Decoder) scanString() ([]byte, error) {
+	start := d.pos + 1 // past opening '"'
+	i := start
+	for {
+		if i >= len(d.data) {
+			return nil, d.Errf("unterminated string")
+		}
+		switch c := d.data[i]; {
+		case c == '"':
+			d.pos = i + 1
+			return d.data[start:i], nil
+		case c == '\\':
+			if i+1 >= len(d.data) {
+				return nil, d.Errf("unterminated string escape")
+			}
+			switch d.data[i+1] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				i += 2
+			case 'u':
+				if i+6 > len(d.data) || !isHex4(d.data[i+2:i+6]) {
+					return nil, d.Errf("invalid \\u escape at offset %d", i)
+				}
+				i += 6
+			default:
+				return nil, d.Errf("invalid escape character at offset %d", i)
+			}
+		case c < 0x20:
+			return nil, d.Errf("control character in string at offset %d", i)
+		default:
+			i++
+		}
+	}
+}
+
+func isHex4(b []byte) bool {
+	for _, c := range b[:4] {
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// str scans and unescapes the string at d.pos. The returned bytes alias
+// either the input line or d.strBuf and are valid only until the next call.
+func (d *Decoder) str() ([]byte, error) {
+	raw, err := d.scanString()
+	if err != nil {
+		return nil, err
+	}
+	// Fast path: no escapes and (for non-ASCII content) valid UTF-8 means the
+	// decoded value is the raw span itself.
+	if bytes.IndexByte(raw, '\\') < 0 {
+		ascii := true
+		for _, c := range raw {
+			if c >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+		}
+		if ascii || utf8.Valid(raw) {
+			return raw, nil
+		}
+	}
+	return d.unescape(raw), nil
+}
+
+// unescape rewrites a validated raw string span into d.strBuf with
+// json.Unmarshal's unquote semantics: standard escapes, \uXXXX with
+// surrogate-pair combination (lone surrogates become U+FFFD), and invalid
+// UTF-8 bytes replaced by U+FFFD.
+func (d *Decoder) unescape(raw []byte) []byte {
+	out := d.strBuf[:0]
+	for i := 0; i < len(raw); {
+		switch c := raw[i]; {
+		case c == '\\':
+			switch raw[i+1] {
+			case '"', '\\', '/':
+				out = append(out, raw[i+1])
+				i += 2
+			case 'b':
+				out = append(out, '\b')
+				i += 2
+			case 'f':
+				out = append(out, '\f')
+				i += 2
+			case 'n':
+				out = append(out, '\n')
+				i += 2
+			case 'r':
+				out = append(out, '\r')
+				i += 2
+			case 't':
+				out = append(out, '\t')
+				i += 2
+			case 'u':
+				r := rune(hex4(raw[i+2 : i+6]))
+				i += 6
+				if utf16.IsSurrogate(r) {
+					var r2 rune = -1
+					if i+6 <= len(raw) && raw[i] == '\\' && raw[i+1] == 'u' && isHex4(raw[i+2:i+6]) {
+						r2 = rune(hex4(raw[i+2 : i+6]))
+					}
+					if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+						out = utf8.AppendRune(out, dec)
+						i += 6
+						break
+					}
+					r = utf8.RuneError
+				}
+				out = utf8.AppendRune(out, r)
+			}
+		case c < utf8.RuneSelf:
+			out = append(out, c)
+			i++
+		default:
+			r, size := utf8.DecodeRune(raw[i:])
+			if r == utf8.RuneError && size == 1 {
+				out = utf8.AppendRune(out, utf8.RuneError)
+				i++
+				break
+			}
+			out = append(out, raw[i:i+size]...)
+			i += size
+		}
+	}
+	d.strBuf = out
+	return out
+}
+
+func hex4(b []byte) uint32 {
+	var v uint32
+	for _, c := range b[:4] {
+		switch {
+		case '0' <= c && c <= '9':
+			v = v<<4 | uint32(c-'0')
+		case 'a' <= c && c <= 'f':
+			v = v<<4 | uint32(c-'a'+10)
+		default: // 'A'..'F', validated by isHex4
+			v = v<<4 | uint32(c-'A'+10)
+		}
+	}
+	return v
+}
+
+// intern returns b as a string, reusing a previously allocated copy when the
+// same bytes have been seen on this decoder. Frame types, tenant and
+// category names, and resource-kind names all repeat, so the steady-state
+// decode path performs no string allocation.
+func (d *Decoder) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := d.strings[string(b)]; ok { // no-alloc map lookup
+		return s
+	}
+	s := string(b)
+	if d.strings == nil {
+		d.strings = make(map[string]string, 16)
+	}
+	if len(d.strings) < maxInternStrings {
+		d.strings[s] = s
+	}
+	return s
+}

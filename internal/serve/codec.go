@@ -1,47 +1,30 @@
 package serve
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
 	"io"
-	"math"
 	"strconv"
-	"unicode/utf16"
-	"unicode/utf8"
-	"unsafe"
 
-	"dynalloc/internal/resources"
+	"dynalloc/internal/jsonwire"
 )
 
-// This file is the hand-rolled wire codec for the frame protocol. The
-// reflection-based encoding/json round trip was the service's dominant cost
-// (~10 allocs and most of the CPU per frame on each side), so frames are now
-// encoded by appending into a reused buffer and decoded by a hand-written
-// scanner into a reused Frame. The encoding is pinned byte-compatible with
-// json.Encoder.Encode(Frame) and the decoder value-compatible with
-// json.Unmarshal — FuzzFrameCodec and FuzzFrameDecode enforce both — so
-// clients built on encoding/json interoperate unchanged and the golden
-// parity tests hold bit-identically.
-
-// maxInternStrings bounds the per-connection string intern table so a peer
-// streaming unique strings cannot grow it without bound; past the cap new
-// strings simply allocate.
-const maxInternStrings = 4096
-
-// maxNestingDepth mirrors encoding/json's nesting limit so the decoder
-// errors on the same pathological inputs (and cannot recurse unboundedly).
-const maxNestingDepth = 10000
+// This file is the service's frame layout on top of the shared wire codec in
+// internal/jsonwire (which started life here and was extracted so the live
+// wq engine could share it). The reflection-based encoding/json round trip
+// was the service's dominant cost (~10 allocs and most of the CPU per frame
+// on each side), so frames are encoded by appending into a reused buffer and
+// decoded by a hand-written scanner into a reused Frame. The encoding is
+// pinned byte-compatible with json.Encoder.Encode(Frame) and the decoder
+// value-compatible with json.Unmarshal — FuzzFrameCodec and FuzzFrameDecode
+// enforce both — so clients built on encoding/json interoperate unchanged
+// and the golden parity tests hold bit-identically.
 
 // errNonFiniteFloat mirrors json.Marshal's refusal to encode NaN or ±Inf.
-var errNonFiniteFloat = errors.New("serve: unsupported value: non-finite float")
+var errNonFiniteFloat = jsonwire.ErrNonFiniteFloat
 
 // decodeError marks a malformed frame, as opposed to an I/O error on the
 // underlying connection. The server counts these in Server.DecodeErrors and
 // reports them to the peer before hanging up.
-type decodeError struct{ msg string }
-
-func (e *decodeError) Error() string { return "serve: decode frame: " + e.msg }
+type decodeError = jsonwire.DecodeError
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -53,18 +36,18 @@ func (e *decodeError) Error() string { return "serve: decode frame: " + e.msg }
 func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 	var err error
 	dst = append(dst, `{"type":`...)
-	dst = appendJSONString(dst, f.Type)
+	dst = jsonwire.AppendString(dst, f.Type)
 	if f.Seq != 0 {
 		dst = append(dst, `,"seq":`...)
 		dst = strconv.AppendUint(dst, f.Seq, 10)
 	}
 	if f.Tenant != "" {
 		dst = append(dst, `,"tenant":`...)
-		dst = appendJSONString(dst, f.Tenant)
+		dst = jsonwire.AppendString(dst, f.Tenant)
 	}
 	if f.Algorithm != "" {
 		dst = append(dst, `,"algorithm":`...)
-		dst = appendJSONString(dst, f.Algorithm)
+		dst = jsonwire.AppendString(dst, f.Algorithm)
 	}
 	if f.Seed != 0 {
 		dst = append(dst, `,"seed":`...)
@@ -72,7 +55,7 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 	}
 	if f.Category != "" {
 		dst = append(dst, `,"category":`...)
-		dst = appendJSONString(dst, f.Category)
+		dst = jsonwire.AppendString(dst, f.Category)
 	}
 	if f.TaskID != 0 {
 		dst = append(dst, `,"task_id":`...)
@@ -80,7 +63,7 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 	}
 	// Fixed-size arrays are never "empty", so despite the omitempty tags the
 	// three vectors appear in every frame — preserved for byte parity.
-	if dst, err = appendVector(append(dst, `,"prev":`...), f.Prev); err != nil {
+	if dst, err = jsonwire.AppendVector(append(dst, `,"prev":`...), f.Prev); err != nil {
 		return dst, err
 	}
 	if len(f.Exceeded) > 0 {
@@ -89,20 +72,20 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 			if i > 0 {
 				dst = append(dst, ',')
 			}
-			dst = appendJSONString(dst, s)
+			dst = jsonwire.AppendString(dst, s)
 		}
 		dst = append(dst, ']')
 	}
-	if dst, err = appendVector(append(dst, `,"peak":`...), f.Peak); err != nil {
+	if dst, err = jsonwire.AppendVector(append(dst, `,"peak":`...), f.Peak); err != nil {
 		return dst, err
 	}
 	if f.Runtime != 0 {
 		dst = append(dst, `,"runtime":`...)
-		if dst, err = appendJSONFloat(dst, f.Runtime); err != nil {
+		if dst, err = jsonwire.AppendFloat(dst, f.Runtime); err != nil {
 			return dst, err
 		}
 	}
-	if dst, err = appendVector(append(dst, `,"alloc":`...), f.Alloc); err != nil {
+	if dst, err = jsonwire.AppendVector(append(dst, `,"alloc":`...), f.Alloc); err != nil {
 		return dst, err
 	}
 	if f.Stats != nil {
@@ -111,28 +94,14 @@ func appendFrame(dst []byte, f *Frame) ([]byte, error) {
 	}
 	if f.Error != "" {
 		dst = append(dst, `,"error":`...)
-		dst = appendJSONString(dst, f.Error)
+		dst = jsonwire.AppendString(dst, f.Error)
 	}
 	return append(dst, '}', '\n'), nil
 }
 
-func appendVector(dst []byte, v resources.Vector) ([]byte, error) {
-	var err error
-	dst = append(dst, '[')
-	for i, x := range v {
-		if i > 0 {
-			dst = append(dst, ',')
-		}
-		if dst, err = appendJSONFloat(dst, x); err != nil {
-			return dst, err
-		}
-	}
-	return append(dst, ']'), nil
-}
-
 func appendStats(dst []byte, st *TenantStats) []byte {
 	dst = append(dst, `{"tenant":`...)
-	dst = appendJSONString(dst, st.Tenant)
+	dst = jsonwire.AppendString(dst, st.Tenant)
 	dst = append(dst, `,"connections":`...)
 	dst = strconv.AppendInt(dst, int64(st.Connections), 10)
 	dst = append(dst, `,"allocates":`...)
@@ -148,93 +117,6 @@ func appendStats(dst []byte, st *TenantStats) []byte {
 	dst = append(dst, `,"records":`...)
 	dst = strconv.AppendInt(dst, int64(st.Records), 10)
 	return append(dst, '}')
-}
-
-// appendJSONFloat replicates encoding/json's float formatting: shortest
-// round-trip representation, 'f' form for 1e-6 <= |v| < 1e21 and 'e' form
-// otherwise, with a single leading zero trimmed from small negative
-// exponents ("1e-09" -> "1e-9").
-func appendJSONFloat(dst []byte, v float64) ([]byte, error) {
-	if math.IsInf(v, 0) || math.IsNaN(v) {
-		return dst, errNonFiniteFloat
-	}
-	abs := math.Abs(v)
-	format := byte('f')
-	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
-		format = 'e'
-	}
-	dst = strconv.AppendFloat(dst, v, format, -1, 64)
-	if format == 'e' {
-		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
-			dst[n-2] = dst[n-1]
-			dst = dst[:n-1]
-		}
-	}
-	return dst, nil
-}
-
-const hexDigits = "0123456789abcdef"
-
-// htmlSafeFrame[b] reports bytes that pass through unescaped, matching
-// encoding/json's htmlSafeSet: printable ASCII minus '"', '\\', '<', '>', '&'.
-var htmlSafeFrame = func() (t [utf8.RuneSelf]bool) {
-	for b := 0x20; b < utf8.RuneSelf; b++ {
-		t[b] = true
-	}
-	t['"'], t['\\'], t['<'], t['>'], t['&'] = false, false, false, false, false
-	return
-}()
-
-// appendJSONString replicates encoding/json's HTML-escaping string encoder.
-func appendJSONString(dst []byte, s string) []byte {
-	dst = append(dst, '"')
-	start := 0
-	for i := 0; i < len(s); {
-		if b := s[i]; b < utf8.RuneSelf {
-			if htmlSafeFrame[b] {
-				i++
-				continue
-			}
-			dst = append(dst, s[start:i]...)
-			switch b {
-			case '\\', '"':
-				dst = append(dst, '\\', b)
-			case '\b':
-				dst = append(dst, '\\', 'b')
-			case '\f':
-				dst = append(dst, '\\', 'f')
-			case '\n':
-				dst = append(dst, '\\', 'n')
-			case '\r':
-				dst = append(dst, '\\', 'r')
-			case '\t':
-				dst = append(dst, '\\', 't')
-			default:
-				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
-			}
-			i++
-			start = i
-			continue
-		}
-		c, size := utf8.DecodeRuneInString(s[i:])
-		if c == utf8.RuneError && size == 1 {
-			dst = append(dst, s[start:i]...)
-			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
-			i += size
-			start = i
-			continue
-		}
-		if c == '\u2028' || c == '\u2029' {
-			dst = append(dst, s[start:i]...)
-			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
-			i += size
-			start = i
-			continue
-		}
-		i += size
-	}
-	dst = append(dst, s[start:]...)
-	return append(dst, '"')
 }
 
 // ---------------------------------------------------------------------------
@@ -283,173 +165,56 @@ var statsFieldNames = [...]string{
 	"observes", "decays", "categories", "records",
 }
 
-// frameDecoder parses one newline-delimited frame per call, reusing all of
-// its scratch (string intern table, Exceeded backing array, unescape buffer)
-// across frames so the steady-state decode path allocates nothing.
+// frameDecoder parses one newline-delimited frame per call on a shared
+// jsonwire.Decoder, reusing all of its scratch (string intern table,
+// Exceeded backing array, unescape buffer) across frames so the steady-state
+// decode path allocates nothing.
 //
 // Semantics match json.Unmarshal into a fresh Frame: case-folded field
 // matching, last-duplicate-wins, null leaves fields at their zero value,
 // short vectors zero-pad, unknown fields are skipped after validation.
 type frameDecoder struct {
-	data  []byte
-	pos   int
-	depth int
-
-	strings  map[string]string // intern table: hot strings decode alloc-free
-	exceeded []string          // backing scratch for Frame.Exceeded
-	strBuf   []byte            // scratch for unescaping strings
-}
-
-// bstr views b as a string without copying. Used only to feed strconv
-// parsers, which do not retain their argument; the byte slice is part of the
-// decoder's input buffer and outlives the call.
-func bstr(b []byte) string {
-	return unsafe.String(unsafe.SliceData(b), len(b))
-}
-
-func (d *frameDecoder) errf(format string, args ...any) error {
-	return &decodeError{msg: fmt.Sprintf(format, args...)}
+	d jsonwire.Decoder
 }
 
 // decode parses line (one JSON document, no trailing newline) into f,
 // resetting f first. A bare "null" document leaves f zeroed, as
 // json.Unmarshal would leave a fresh Frame.
-func (d *frameDecoder) decode(line []byte, f *Frame) error {
-	d.data, d.pos, d.depth = line, 0, 0
+func (dec *frameDecoder) decode(line []byte, f *Frame) error {
 	*f = Frame{}
-	d.skipWS()
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	var err error
-	switch d.data[d.pos] {
-	case 'n':
-		err = d.literal("null")
-	case '{':
-		err = d.frameObject(f)
-	default:
-		err = d.errf("frame must be a JSON object")
-	}
-	if err != nil {
-		return err
-	}
-	d.skipWS()
-	if d.pos != len(d.data) {
-		return d.errf("trailing data after frame")
-	}
-	return nil
-}
-
-func (d *frameDecoder) skipWS() {
-	for d.pos < len(d.data) {
-		switch d.data[d.pos] {
-		case ' ', '\t', '\r', '\n':
-			d.pos++
-		default:
-			return
-		}
-	}
-}
-
-func (d *frameDecoder) literal(lit string) error {
-	if len(d.data)-d.pos < len(lit) || string(d.data[d.pos:d.pos+len(lit)]) != lit {
-		return d.errf("invalid literal at offset %d", d.pos)
-	}
-	d.pos += len(lit)
-	return nil
-}
-
-func (d *frameDecoder) push() error {
-	d.depth++
-	if d.depth > maxNestingDepth {
-		return d.errf("exceeded max nesting depth")
-	}
-	return nil
-}
-
-// object steps through the key/value pairs of the JSON object at d.pos,
-// invoking field(key) for every value (with d.pos on the value's first
-// byte). It factors the brace/comma/colon walk shared by Frame and
-// TenantStats objects.
-func (d *frameDecoder) object(field func(key []byte) error) error {
-	if err := d.push(); err != nil {
-		return err
-	}
-	d.pos++ // '{'
-	d.skipWS()
-	if d.pos < len(d.data) && d.data[d.pos] == '}' {
-		d.pos++
-		d.depth--
-		return nil
-	}
-	for {
-		d.skipWS()
-		if d.pos >= len(d.data) || d.data[d.pos] != '"' {
-			return d.errf("expected object key at offset %d", d.pos)
-		}
-		key, err := d.str()
-		if err != nil {
-			return err
-		}
-		d.skipWS()
-		if d.pos >= len(d.data) || d.data[d.pos] != ':' {
-			return d.errf("expected ':' at offset %d", d.pos)
-		}
-		d.pos++
-		d.skipWS()
-		if err := field(key); err != nil {
-			return err
-		}
-		d.skipWS()
-		if d.pos >= len(d.data) {
-			return d.errf("unterminated object")
-		}
-		switch d.data[d.pos] {
-		case ',':
-			d.pos++
-		case '}':
-			d.pos++
-			d.depth--
-			return nil
-		default:
-			return d.errf("expected ',' or '}' at offset %d", d.pos)
-		}
-	}
-}
-
-func (d *frameDecoder) frameObject(f *Frame) error {
-	return d.object(func(key []byte) error {
+	d := &dec.d
+	return d.DecodeObject(line, func(key []byte) error {
 		switch frameField(key) {
 		case fdType:
-			return d.stringField(&f.Type)
+			return d.String(&f.Type)
 		case fdSeq:
-			return d.uintField(&f.Seq)
+			return d.Uint(&f.Seq)
 		case fdTenant:
-			return d.stringField(&f.Tenant)
+			return d.String(&f.Tenant)
 		case fdAlgorithm:
-			return d.stringField(&f.Algorithm)
+			return d.String(&f.Algorithm)
 		case fdSeed:
-			return d.uintField(&f.Seed)
+			return d.Uint(&f.Seed)
 		case fdCategory:
-			return d.stringField(&f.Category)
+			return d.String(&f.Category)
 		case fdTaskID:
-			return d.intField(&f.TaskID)
+			return d.Int(&f.TaskID)
 		case fdPrev:
-			return d.vectorField(&f.Prev)
+			return d.Vector(&f.Prev)
 		case fdExceeded:
-			return d.exceededField(f)
+			return d.Strings(&f.Exceeded)
 		case fdPeak:
-			return d.vectorField(&f.Peak)
+			return d.Vector(&f.Peak)
 		case fdRuntime:
-			return d.floatField(&f.Runtime)
+			return d.Float(&f.Runtime)
 		case fdAlloc:
-			return d.vectorField(&f.Alloc)
+			return d.Vector(&f.Alloc)
 		case fdStats:
-			return d.statsField(f)
+			return dec.statsField(f)
 		case fdError:
-			return d.stringField(&f.Error)
+			return d.String(&f.Error)
 		default:
-			return d.skipValue()
+			return d.Skip()
 		}
 	})
 }
@@ -490,7 +255,7 @@ func frameField(key []byte) int {
 		return fdError
 	}
 	for i, name := range frameFieldNames {
-		if foldEqual(key, name) {
+		if jsonwire.FoldEqual(key, name) {
 			return i
 		}
 	}
@@ -517,559 +282,66 @@ func statsField(key []byte) int {
 		return sdRecords
 	}
 	for i, name := range statsFieldNames {
-		if foldEqual(key, name) {
+		if jsonwire.FoldEqual(key, name) {
 			return i
 		}
 	}
 	return sdUnknown
 }
 
-// foldEqual matches encoding/json's field-name folding, which is defined as
-// bytes.EqualFold (ASCII fast path handled there).
-func foldEqual(key []byte, name string) bool {
-	return len(key) == len(name) && bytes.EqualFold(key, []byte(name))
-}
-
-// Field decoders. Each is entered with d.pos on the value's first byte.
-// JSON null leaves the target unchanged, matching encoding/json.
-
-func (d *frameDecoder) stringField(dst *string) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		return d.literal("null")
-	}
-	if d.data[d.pos] != '"' {
-		return d.errf("expected string at offset %d", d.pos)
-	}
-	b, err := d.str()
-	if err != nil {
-		return err
-	}
-	*dst = d.intern(b)
-	return nil
-}
-
-func (d *frameDecoder) uintField(dst *uint64) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		return d.literal("null")
-	}
-	tok, err := d.scanNumber()
-	if err != nil {
-		return err
-	}
-	v, err := strconv.ParseUint(bstr(tok), 10, 64)
-	if err != nil {
-		return d.errf("cannot decode number %s as uint64", tok)
-	}
-	*dst = v
-	return nil
-}
-
-func (d *frameDecoder) intField(dst *int) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		return d.literal("null")
-	}
-	tok, err := d.scanNumber()
-	if err != nil {
-		return err
-	}
-	v, err := strconv.ParseInt(bstr(tok), 10, strconv.IntSize)
-	if err != nil {
-		return d.errf("cannot decode number %s as int", tok)
-	}
-	*dst = int(v)
-	return nil
-}
-
-func (d *frameDecoder) floatField(dst *float64) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		return d.literal("null")
-	}
-	tok, err := d.scanNumber()
-	if err != nil {
-		return err
-	}
-	v, err := strconv.ParseFloat(bstr(tok), 64)
-	if err != nil {
-		return d.errf("cannot decode number %s as float64", tok)
-	}
-	*dst = v
-	return nil
-}
-
-// vectorField decodes a JSON array into a fixed-size vector with
-// encoding/json's array semantics: extra elements are validated but
-// discarded, missing elements zero the tail.
-func (d *frameDecoder) vectorField(v *resources.Vector) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		return d.literal("null")
-	}
-	if d.data[d.pos] != '[' {
-		return d.errf("expected array at offset %d", d.pos)
-	}
-	if err := d.push(); err != nil {
-		return err
-	}
-	d.pos++
-	d.skipWS()
-	n := 0
-	if d.pos < len(d.data) && d.data[d.pos] == ']' {
-		d.pos++
-		d.depth--
-		for ; n < int(resources.NumKinds); n++ {
-			v[n] = 0
-		}
-		return nil
-	}
-	for {
-		d.skipWS()
-		if n < int(resources.NumKinds) {
-			if err := d.floatField(&v[n]); err != nil {
-				return err
-			}
-		} else if err := d.skipValue(); err != nil {
-			return err
-		}
-		n++
-		d.skipWS()
-		if d.pos >= len(d.data) {
-			return d.errf("unterminated array")
-		}
-		switch d.data[d.pos] {
-		case ',':
-			d.pos++
-		case ']':
-			d.pos++
-			d.depth--
-			for ; n < int(resources.NumKinds); n++ {
-				v[n] = 0
-			}
-			return nil
-		default:
-			return d.errf("expected ',' or ']' at offset %d", d.pos)
-		}
-	}
-}
-
-// exceededField decodes the exceeded-kind list into the decoder's reused
-// backing array. The strings themselves are interned (the well-known kind
-// names hit the table), so steady-state retries decode alloc-free. The
-// returned slice is valid until the next decode; callers that retain frames
-// (the client's response router) copy it.
-func (d *frameDecoder) exceededField(f *Frame) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		if err := d.literal("null"); err != nil {
-			return err
-		}
-		f.Exceeded = nil
-		return nil
-	}
-	if d.data[d.pos] != '[' {
-		return d.errf("expected array at offset %d", d.pos)
-	}
-	if err := d.push(); err != nil {
-		return err
-	}
-	d.pos++
-	if d.exceeded == nil {
-		d.exceeded = make([]string, 0, 4)
-	}
-	d.exceeded = d.exceeded[:0]
-	d.skipWS()
-	if d.pos < len(d.data) && d.data[d.pos] == ']' {
-		d.pos++
-		d.depth--
-		f.Exceeded = d.exceeded
-		return nil
-	}
-	for {
-		d.skipWS()
-		var s string
-		if err := d.stringField(&s); err != nil {
-			return err
-		}
-		d.exceeded = append(d.exceeded, s)
-		d.skipWS()
-		if d.pos >= len(d.data) {
-			return d.errf("unterminated array")
-		}
-		switch d.data[d.pos] {
-		case ',':
-			d.pos++
-		case ']':
-			d.pos++
-			d.depth--
-			f.Exceeded = d.exceeded
-			return nil
-		default:
-			return d.errf("expected ',' or ']' at offset %d", d.pos)
-		}
-	}
-}
-
 // statsField decodes the stats payload. This is the cold path (one frame
 // per Stats call), so the TenantStats may allocate; like encoding/json, a
 // duplicate key reuses the struct allocated by the first.
-func (d *frameDecoder) statsField(f *Frame) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		if err := d.literal("null"); err != nil {
-			return err
+func (dec *frameDecoder) statsField(f *Frame) error {
+	d := &dec.d
+	if null, err := d.Null(); null || err != nil {
+		if err == nil {
+			f.Stats = nil
 		}
-		f.Stats = nil
-		return nil
-	}
-	if d.data[d.pos] != '{' {
-		return d.errf("expected object at offset %d", d.pos)
+		return err
 	}
 	if f.Stats == nil {
 		f.Stats = new(TenantStats)
 	}
 	st := f.Stats
-	return d.object(func(key []byte) error {
+	return d.Object(func(key []byte) error {
 		switch statsField(key) {
 		case sdTenant:
-			return d.stringField(&st.Tenant)
+			return d.String(&st.Tenant)
 		case sdConnections:
-			return d.intField(&st.Connections)
+			return d.Int(&st.Connections)
 		case sdAllocates:
-			return d.int64Field(&st.Allocates)
+			return d.Int64(&st.Allocates)
 		case sdRetries:
-			return d.int64Field(&st.Retries)
+			return d.Int64(&st.Retries)
 		case sdObserves:
-			return d.int64Field(&st.Observes)
+			return d.Int64(&st.Observes)
 		case sdDecays:
-			return d.int64Field(&st.Decays)
+			return d.Int64(&st.Decays)
 		case sdCategories:
-			return d.intField(&st.Categories)
+			return d.Int(&st.Categories)
 		case sdRecords:
-			return d.intField(&st.Records)
+			return d.Int(&st.Records)
 		default:
-			return d.skipValue()
+			return d.Skip()
 		}
 	})
-}
-
-func (d *frameDecoder) int64Field(dst *int64) error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	if d.data[d.pos] == 'n' {
-		return d.literal("null")
-	}
-	tok, err := d.scanNumber()
-	if err != nil {
-		return err
-	}
-	v, err := strconv.ParseInt(bstr(tok), 10, 64)
-	if err != nil {
-		return d.errf("cannot decode number %s as int64", tok)
-	}
-	*dst = v
-	return nil
-}
-
-// skipValue validates and steps over one JSON value of any shape.
-func (d *frameDecoder) skipValue() error {
-	if d.pos >= len(d.data) {
-		return d.errf("unexpected end of input")
-	}
-	switch c := d.data[d.pos]; {
-	case c == '{':
-		return d.object(func([]byte) error { return d.skipValue() })
-	case c == '[':
-		if err := d.push(); err != nil {
-			return err
-		}
-		d.pos++
-		d.skipWS()
-		if d.pos < len(d.data) && d.data[d.pos] == ']' {
-			d.pos++
-			d.depth--
-			return nil
-		}
-		for {
-			d.skipWS()
-			if err := d.skipValue(); err != nil {
-				return err
-			}
-			d.skipWS()
-			if d.pos >= len(d.data) {
-				return d.errf("unterminated array")
-			}
-			switch d.data[d.pos] {
-			case ',':
-				d.pos++
-			case ']':
-				d.pos++
-				d.depth--
-				return nil
-			default:
-				return d.errf("expected ',' or ']' at offset %d", d.pos)
-			}
-		}
-	case c == '"':
-		_, err := d.scanString()
-		return err
-	case c == 't':
-		return d.literal("true")
-	case c == 'f':
-		return d.literal("false")
-	case c == 'n':
-		return d.literal("null")
-	default:
-		_, err := d.scanNumber()
-		return err
-	}
-}
-
-// scanNumber validates JSON number grammar (stricter than strconv: no hex,
-// no leading '+', '.', or zero-padding) and returns the token.
-func (d *frameDecoder) scanNumber() ([]byte, error) {
-	start := d.pos
-	if d.pos < len(d.data) && d.data[d.pos] == '-' {
-		d.pos++
-	}
-	switch {
-	case d.pos >= len(d.data):
-		return nil, d.errf("invalid number at offset %d", start)
-	case d.data[d.pos] == '0':
-		d.pos++
-	case d.data[d.pos] >= '1' && d.data[d.pos] <= '9':
-		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
-			d.pos++
-		}
-	default:
-		return nil, d.errf("invalid number at offset %d", start)
-	}
-	if d.pos < len(d.data) && d.data[d.pos] == '.' {
-		d.pos++
-		if d.pos >= len(d.data) || d.data[d.pos] < '0' || d.data[d.pos] > '9' {
-			return nil, d.errf("invalid number at offset %d", start)
-		}
-		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
-			d.pos++
-		}
-	}
-	if d.pos < len(d.data) && (d.data[d.pos] == 'e' || d.data[d.pos] == 'E') {
-		d.pos++
-		if d.pos < len(d.data) && (d.data[d.pos] == '+' || d.data[d.pos] == '-') {
-			d.pos++
-		}
-		if d.pos >= len(d.data) || d.data[d.pos] < '0' || d.data[d.pos] > '9' {
-			return nil, d.errf("invalid number at offset %d", start)
-		}
-		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
-			d.pos++
-		}
-	}
-	return d.data[start:d.pos], nil
-}
-
-// scanString validates the string at d.pos and returns the raw (still
-// escaped) span between the quotes, advancing past the closing quote.
-func (d *frameDecoder) scanString() ([]byte, error) {
-	start := d.pos + 1 // past opening '"'
-	i := start
-	for {
-		if i >= len(d.data) {
-			return nil, d.errf("unterminated string")
-		}
-		switch c := d.data[i]; {
-		case c == '"':
-			d.pos = i + 1
-			return d.data[start:i], nil
-		case c == '\\':
-			if i+1 >= len(d.data) {
-				return nil, d.errf("unterminated string escape")
-			}
-			switch d.data[i+1] {
-			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
-				i += 2
-			case 'u':
-				if i+6 > len(d.data) || !isHex4(d.data[i+2:i+6]) {
-					return nil, d.errf("invalid \\u escape at offset %d", i)
-				}
-				i += 6
-			default:
-				return nil, d.errf("invalid escape character at offset %d", i)
-			}
-		case c < 0x20:
-			return nil, d.errf("control character in string at offset %d", i)
-		default:
-			i++
-		}
-	}
-}
-
-func isHex4(b []byte) bool {
-	for _, c := range b[:4] {
-		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
-			return false
-		}
-	}
-	return true
-}
-
-// str scans and unescapes the string at d.pos. The returned bytes alias
-// either the input line or d.strBuf and are valid only until the next call.
-func (d *frameDecoder) str() ([]byte, error) {
-	raw, err := d.scanString()
-	if err != nil {
-		return nil, err
-	}
-	// Fast path: no escapes and (for non-ASCII content) valid UTF-8 means the
-	// decoded value is the raw span itself.
-	if bytes.IndexByte(raw, '\\') < 0 {
-		ascii := true
-		for _, c := range raw {
-			if c >= utf8.RuneSelf {
-				ascii = false
-				break
-			}
-		}
-		if ascii || utf8.Valid(raw) {
-			return raw, nil
-		}
-	}
-	return d.unescape(raw), nil
-}
-
-// unescape rewrites a validated raw string span into d.strBuf with
-// json.Unmarshal's unquote semantics: standard escapes, \uXXXX with
-// surrogate-pair combination (lone surrogates become U+FFFD), and invalid
-// UTF-8 bytes replaced by U+FFFD.
-func (d *frameDecoder) unescape(raw []byte) []byte {
-	out := d.strBuf[:0]
-	for i := 0; i < len(raw); {
-		switch c := raw[i]; {
-		case c == '\\':
-			switch raw[i+1] {
-			case '"', '\\', '/':
-				out = append(out, raw[i+1])
-				i += 2
-			case 'b':
-				out = append(out, '\b')
-				i += 2
-			case 'f':
-				out = append(out, '\f')
-				i += 2
-			case 'n':
-				out = append(out, '\n')
-				i += 2
-			case 'r':
-				out = append(out, '\r')
-				i += 2
-			case 't':
-				out = append(out, '\t')
-				i += 2
-			case 'u':
-				r := rune(hex4(raw[i+2 : i+6]))
-				i += 6
-				if utf16.IsSurrogate(r) {
-					var r2 rune = -1
-					if i+6 <= len(raw) && raw[i] == '\\' && raw[i+1] == 'u' && isHex4(raw[i+2:i+6]) {
-						r2 = rune(hex4(raw[i+2 : i+6]))
-					}
-					if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
-						out = utf8.AppendRune(out, dec)
-						i += 6
-						break
-					}
-					r = utf8.RuneError
-				}
-				out = utf8.AppendRune(out, r)
-			}
-		case c < utf8.RuneSelf:
-			out = append(out, c)
-			i++
-		default:
-			r, size := utf8.DecodeRune(raw[i:])
-			if r == utf8.RuneError && size == 1 {
-				out = utf8.AppendRune(out, utf8.RuneError)
-				i++
-				break
-			}
-			out = append(out, raw[i:i+size]...)
-			i += size
-		}
-	}
-	d.strBuf = out
-	return out
-}
-
-func hex4(b []byte) uint32 {
-	var v uint32
-	for _, c := range b[:4] {
-		switch {
-		case '0' <= c && c <= '9':
-			v = v<<4 | uint32(c-'0')
-		case 'a' <= c && c <= 'f':
-			v = v<<4 | uint32(c-'a'+10)
-		default: // 'A'..'F', validated by isHex4
-			v = v<<4 | uint32(c-'A'+10)
-		}
-	}
-	return v
-}
-
-// intern returns b as a string, reusing a previously allocated copy when the
-// same bytes have been seen on this connection. Frame types, tenant names,
-// category names, and resource-kind names all repeat, so the steady-state
-// decode path performs no string allocation.
-func (d *frameDecoder) intern(b []byte) string {
-	if len(b) == 0 {
-		return ""
-	}
-	if s, ok := d.strings[string(b)]; ok { // no-alloc map lookup
-		return s
-	}
-	s := string(b)
-	if d.strings == nil {
-		d.strings = make(map[string]string, 16)
-	}
-	if len(d.strings) < maxInternStrings {
-		d.strings[s] = s
-	}
-	return s
 }
 
 // ---------------------------------------------------------------------------
 // Stream framing
 
-// frameReader reads newline-delimited frames from a connection into a
-// reused buffer. Its buffered method lets the server flush coalesced replies
-// exactly when it is about to block for more input.
+// frameReader reads newline-delimited frames from a connection through the
+// shared grow-on-demand line reader, decoding each into a reused Frame. Its
+// buffered method lets the server flush coalesced replies exactly when it is
+// about to block for more input.
 type frameReader struct {
-	r       io.Reader
-	buf     []byte
-	start   int // unconsumed window start
-	end     int // unconsumed window end
-	scanned int // bytes of the window already searched for '\n'
-	dec     frameDecoder
+	r   *jsonwire.Reader
+	dec frameDecoder
 }
 
 func newFrameReader(r io.Reader) *frameReader {
-	return &frameReader{r: r, buf: make([]byte, 4096)}
+	return &frameReader{r: jsonwire.NewReader(r)}
 }
 
 // next reads the next frame into f. Whitespace-only lines are skipped (the
@@ -1077,69 +349,15 @@ func newFrameReader(r io.Reader) *frameReader {
 // unterminated line at EOF is parsed as a frame. Malformed frames return a
 // *decodeError; transport failures return the underlying error.
 func (fr *frameReader) next(f *Frame) error {
-	for {
-		window := fr.buf[fr.start:fr.end]
-		if i := bytes.IndexByte(window[fr.scanned:], '\n'); i >= 0 {
-			line := window[:fr.scanned+i]
-			fr.start += fr.scanned + i + 1
-			fr.scanned = 0
-			if isBlank(line) {
-				continue
-			}
-			return fr.dec.decode(line, f)
-		}
-		fr.scanned = len(window)
-		if err := fr.fill(); err != nil {
-			if err == io.EOF && fr.end > fr.start && !isBlank(fr.buf[fr.start:fr.end]) {
-				line := fr.buf[fr.start:fr.end]
-				fr.start, fr.scanned = fr.end, 0
-				return fr.dec.decode(line, f)
-			}
-			return err
-		}
+	line, err := fr.r.Next()
+	if err != nil {
+		return err
 	}
+	return fr.dec.decode(line, f)
 }
 
 // buffered reports whether a complete frame line is already in memory, i.e.
 // whether next can return without touching the connection.
 func (fr *frameReader) buffered() bool {
-	window := fr.buf[fr.start:fr.end]
-	if i := bytes.IndexByte(window[fr.scanned:], '\n'); i >= 0 {
-		return true
-	}
-	fr.scanned = len(window)
-	return false
-}
-
-// fill compacts the window to the front of the buffer, growing it when a
-// single frame exceeds the current size, and reads more bytes.
-func (fr *frameReader) fill() error {
-	if fr.start > 0 {
-		copy(fr.buf, fr.buf[fr.start:fr.end])
-		fr.end -= fr.start
-		fr.start = 0
-	}
-	if fr.end == len(fr.buf) {
-		grown := make([]byte, 2*len(fr.buf))
-		copy(grown, fr.buf[:fr.end])
-		fr.buf = grown
-	}
-	n, err := fr.r.Read(fr.buf[fr.end:])
-	fr.end += n
-	if n > 0 {
-		return nil
-	}
-	if err == nil {
-		err = io.ErrNoProgress
-	}
-	return err
-}
-
-func isBlank(line []byte) bool {
-	for _, c := range line {
-		if c != ' ' && c != '\t' && c != '\r' {
-			return false
-		}
-	}
-	return true
+	return fr.r.Buffered()
 }

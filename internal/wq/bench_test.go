@@ -1,0 +1,241 @@
+package wq
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynalloc/internal/resources"
+	"dynalloc/internal/workflow"
+)
+
+// This file is the loopback transport benchmark harness for the live engine:
+// manager and workers talk over in-memory buffered pipes, so the numbers
+// measure the engine itself (frame codec, dispatch locking, flush policy)
+// rather than kernel TCP. Unlike net.Pipe — whose writes rendezvous with the
+// reader and would serialize both sides — loopPipe buffers writes, so flush
+// coalescing behaves as it does on a real socket.
+
+// loopBuf is one direction of an in-memory connection: an append buffer with
+// blocking reads.
+type loopBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	off    int
+	closed bool
+}
+
+func newLoopBuf() *loopBuf {
+	b := &loopBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *loopBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.off == len(b.data) && !b.closed {
+		b.cond.Wait()
+	}
+	if b.off == len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	if b.off == len(b.data) {
+		// Whole buffer consumed: recycle the storage instead of growing.
+		b.data = b.data[:0]
+		b.off = 0
+	}
+	return n, nil
+}
+
+func (b *loopBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.cond.Signal()
+	return len(p), nil
+}
+
+func (b *loopBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// loopConn is one endpoint of a loopback pipe.
+type loopConn struct {
+	rd, wr *loopBuf
+}
+
+func loopPipe() (a, b net.Conn) {
+	x, y := newLoopBuf(), newLoopBuf()
+	return &loopConn{rd: x, wr: y}, &loopConn{rd: y, wr: x}
+}
+
+func (c *loopConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *loopConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+func (c *loopConn) Close() error {
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+type loopAddr struct{}
+
+func (loopAddr) Network() string { return "loop" }
+func (loopAddr) String() string  { return "loop" }
+
+func (c *loopConn) LocalAddr() net.Addr              { return loopAddr{} }
+func (c *loopConn) RemoteAddr() net.Addr             { return loopAddr{} }
+func (c *loopConn) SetDeadline(time.Time) error      { return nil }
+func (c *loopConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *loopConn) SetWriteDeadline(time.Time) error { return nil }
+
+// benchPolicy is a fixed-allocation policy: the benchmarks measure the wire
+// engine, not prediction, so the policy must cost (and allocate) nothing.
+type benchPolicy struct{ alloc resources.Vector }
+
+func (p benchPolicy) Allocate(string, int) resources.Vector { return p.alloc }
+func (p benchPolicy) Retry(_ string, _ int, prev resources.Vector, _ []resources.Kind) resources.Vector {
+	return prev.Scale(2)
+}
+func (p benchPolicy) Observe(string, int, resources.Vector, float64) {}
+func (p benchPolicy) Name() string                                   { return "bench-fixed" }
+
+// benchEngine wires `workers` loopback workers into a fresh manager and
+// waits until they are all registered.
+func benchEngine(b *testing.B, workers int) (*Manager, context.CancelFunc) {
+	b.Helper()
+	m := NewManager(benchPolicy{alloc: resources.New(1, 100, 100, 3600)})
+	ctx, cancel := context.WithCancel(context.Background())
+	capacity := resources.New(64, 1<<20, 1<<20, 3600)
+	cfg := WorkerConfig{Capacity: capacity, TimeScale: 1e-12}
+	for i := 0; i < workers; i++ {
+		mgrSide, wkrSide := loopPipe()
+		go m.serveWorker(mgrSide)
+		go func() { _ = runWorkerConn(ctx, wkrSide, cfg) }()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Workers() < workers {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of %d workers registered", m.Workers(), workers)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return m, cancel
+}
+
+var benchTask = workflow.Task{
+	Category:    "bench",
+	Consumption: resources.New(0.5, 50, 50, 1),
+}
+
+// benchWQDispatch measures sustained dispatch/result round trips: `depth`
+// driver goroutines keep that many tasks in flight through Submit, every
+// task fits its first allocation, and the workers' virtual execution sleeps
+// zero wall time — so the per-op cost is one full manager->worker->manager
+// protocol round trip including dispatch-time allocation and bookkeeping.
+func benchWQDispatch(b *testing.B, workers int) {
+	m, cancel := benchEngine(b, workers)
+	defer cancel()
+	defer m.Close()
+
+	depth := 8 * workers
+	var remaining atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining.Store(int64(b.N))
+	var wg sync.WaitGroup
+	for g := 0; g < depth; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				<-m.Submit(benchTask)
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/sec")
+}
+
+// BenchmarkWQDispatch1Workers is the single-worker protocol floor.
+func BenchmarkWQDispatch1Workers(b *testing.B) { benchWQDispatch(b, 1) }
+
+// BenchmarkWQDispatch8Workers is the headline live-engine number recorded in
+// BENCH_wq.json: 8 concurrent workers, 64 tasks in flight.
+func BenchmarkWQDispatch8Workers(b *testing.B) { benchWQDispatch(b, 8) }
+
+// BenchmarkWQDispatch64Workers stresses the dispatch scan and the result
+// intake under a wide worker fleet.
+func BenchmarkWQDispatch64Workers(b *testing.B) { benchWQDispatch(b, 64) }
+
+// BenchmarkWQChurn8Workers overlays worker churn on the dispatch stream: one
+// of the 8 workers is killed (and replaced) every churnEvery completed
+// tasks, so the run continuously exercises the eviction/requeue path and the
+// alive-chain maintenance alongside steady-state dispatch.
+func BenchmarkWQChurn8Workers(b *testing.B) {
+	const workers = 8
+	const churnEvery = 2048
+	m, cancel := benchEngine(b, workers)
+	defer cancel()
+	defer m.Close()
+	ctx, stopSpawns := context.WithCancel(context.Background())
+	defer stopSpawns()
+
+	// victims holds one evictable loopback worker at a time; the driver that
+	// crosses a churn boundary kills it and spawns a replacement.
+	capacity := resources.New(64, 1<<20, 1<<20, 3600)
+	cfg := WorkerConfig{Capacity: capacity, TimeScale: 1e-12}
+	var victimMu sync.Mutex
+	var victim net.Conn
+	spawnVictim := func() {
+		mgrSide, wkrSide := loopPipe()
+		go m.serveWorker(mgrSide)
+		go func() { _ = runWorkerConn(ctx, wkrSide, cfg) }()
+		victimMu.Lock()
+		victim = wkrSide
+		victimMu.Unlock()
+	}
+	spawnVictim()
+
+	depth := 8 * workers
+	var completed atomic.Int64
+	var remaining atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining.Store(int64(b.N))
+	var wg sync.WaitGroup
+	for g := 0; g < depth; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				<-m.Submit(benchTask)
+				if n := completed.Add(1); n%churnEvery == 0 {
+					victimMu.Lock()
+					old := victim
+					victimMu.Unlock()
+					old.Close()
+					spawnVictim()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/sec")
+}

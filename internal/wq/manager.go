@@ -2,15 +2,17 @@ package wq
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynalloc/internal/allocator"
+	"dynalloc/internal/jsonwire"
 	"dynalloc/internal/metrics"
 	"dynalloc/internal/resources"
 	"dynalloc/internal/sim"
@@ -58,6 +60,31 @@ type Manager struct {
 	stats     Stats
 	perWorker map[int]*WorkerStats
 
+	// pendingSends stages outbound task frames produced by dispatchLocked
+	// (guarded by mu, like flushBusy and sendSpare). Encoding and I/O happen
+	// after mu is released: flushPending swaps the staged batch out under mu,
+	// then deliver encodes and writes it with only per-worker writer locks
+	// held, flushing each touched worker once per batch instead of once per
+	// frame. At most one delivery runs at a time (flushBusy), so the two
+	// staging slices ping-pong without copying and concurrent stagers never
+	// block on I/O — the active flusher re-checks for frames staged while it
+	// was writing.
+	flushBusy    bool
+	pendingSends []pendingSend
+	sendSpare    []pendingSend
+	flushBatches atomic.Int64
+	framesSent   atomic.Int64
+
+	// intake stages completed results decoded by worker reader goroutines
+	// (guarded by intakeMu, deliberately separate from mu): readers never
+	// contend on the manager lock just to hand a result over, and whichever
+	// goroutine finds the intake idle drains the whole backlog in batches —
+	// one flushPending per batch — while later readers stage and move on.
+	intakeMu    sync.Mutex
+	intake      []stagedResult
+	intakeSpare []stagedResult
+	intakeBusy  bool
+
 	// options
 	hbInterval   time.Duration
 	hbTimeout    time.Duration
@@ -72,13 +99,14 @@ type Manager struct {
 type managedWorker struct {
 	id       int
 	conn     net.Conn
-	enc      *json.Encoder
-	sendMu   sync.Mutex
+	out      *frameWriter
 	capacity resources.Vector
 	used     resources.Vector
 	running  map[int]resources.Vector // task ID -> allocation held
 	alive    bool
-	lastSeen time.Time // guarded by Manager.mu
+	// lastSeen is the UnixNano of the last frame from this worker. Atomic so
+	// the reader goroutine refreshes it per frame without touching any lock.
+	lastSeen atomic.Int64
 
 	// prev/next link the alive-worker chain in ascending-ID order; nil for a
 	// worker that has been evicted (or never joined). Guarded by Manager.mu.
@@ -86,9 +114,21 @@ type managedWorker struct {
 }
 
 func (w *managedWorker) send(m Message) error {
-	w.sendMu.Lock()
-	defer w.sendMu.Unlock()
-	return w.enc.Encode(m)
+	return w.out.send(&m)
+}
+
+// pendingSend is one outbound frame staged by dispatchLocked for delivery
+// outside the manager lock.
+type pendingSend struct {
+	w   *managedWorker
+	msg Message
+}
+
+// stagedResult is one completed-task frame staged by a worker reader
+// goroutine for the intake drainer.
+type stagedResult struct {
+	w   *managedWorker
+	res Message
 }
 
 type taskState struct {
@@ -99,6 +139,14 @@ type taskState struct {
 	done     bool
 	failed   bool                     // done because the retry budget ran out
 	notify   chan metrics.TaskOutcome // non-nil for Submit-ted tasks
+	// ephemeral marks a Submit-ted task: its outcome leaves through notify,
+	// so its state is deleted from m.tasks at the terminal transition and the
+	// live set stays bounded by in-flight work. RunWorkflow tasks stay until
+	// their outcomes are collected.
+	ephemeral bool
+	// attemptsBuf inlines the first attempt record so the common
+	// one-attempt-and-done task never heap-allocates its attempts slice.
+	attemptsBuf [1]metrics.Attempt
 
 	// owner is the ID of the worker currently running the task, or -1 when
 	// the task is queued, finished, or was never dispatched. A result frame
@@ -211,9 +259,10 @@ func (m *Manager) acceptLoop(ln net.Listener) {
 
 func (m *Manager) serveWorker(conn net.Conn) {
 	defer conn.Close()
-	dec := json.NewDecoder(conn)
+	mr := newMsgReader(conn)
 	var reg Message
-	if err := dec.Decode(&reg); err != nil || reg.Type != MsgRegister {
+	if err := mr.next(&reg); err != nil || reg.Type != MsgRegister {
+		m.noteDecodeError(-1, err)
 		return
 	}
 	capacity := reg.Capacity
@@ -225,21 +274,21 @@ func (m *Manager) serveWorker(conn net.Conn) {
 		m.mu.Unlock()
 		return
 	}
-	w := m.addWorkerLocked(conn, json.NewEncoder(conn), capacity)
+	w := m.addWorkerLocked(conn, conn, capacity)
 	m.dispatchLocked()
 	m.mu.Unlock()
+	m.flushPending()
 
+	var res Message
 	for {
-		var res Message
-		if err := dec.Decode(&res); err != nil {
+		if err := mr.next(&res); err != nil {
+			m.noteDecodeError(w.id, err)
 			break
 		}
-		m.mu.Lock()
-		w.lastSeen = time.Now()
-		m.mu.Unlock()
+		w.lastSeen.Store(time.Now().UnixNano())
 		switch res.Type {
 		case MsgResult:
-			m.handleResult(w, res)
+			m.enqueueResult(w, res)
 		case MsgPong:
 			// lastSeen is already refreshed; nothing else to do.
 		}
@@ -247,19 +296,33 @@ func (m *Manager) serveWorker(conn net.Conn) {
 	m.evict(w)
 }
 
+// noteDecodeError records a malformed frame from a worker connection in the
+// stats and the trace before the connection is dropped; transport errors
+// (including clean EOFs) pass through silently.
+func (m *Manager) noteDecodeError(workerID int, err error) {
+	var derr *jsonwire.DecodeError
+	if !errors.As(err, &derr) {
+		return
+	}
+	m.mu.Lock()
+	m.stats.DecodeErrors++
+	m.traceLocked(Event{Type: EventDecodeError, TaskID: -1, WorkerID: workerID, Detail: derr.Error()})
+	m.mu.Unlock()
+}
+
 // addWorkerLocked registers a connected worker under the next worker ID and
 // appends it to the alive chain (IDs are monotonic, so appending keeps the
 // chain in ascending-ID order). Callers hold m.mu.
-func (m *Manager) addWorkerLocked(conn net.Conn, enc *json.Encoder, capacity resources.Vector) *managedWorker {
+func (m *Manager) addWorkerLocked(conn net.Conn, out io.Writer, capacity resources.Vector) *managedWorker {
 	w := &managedWorker{
 		id:       m.nextWID,
 		conn:     conn,
-		enc:      enc,
+		out:      newFrameWriter(out),
 		capacity: capacity,
 		running:  make(map[int]resources.Vector),
 		alive:    true,
-		lastSeen: time.Now(),
 	}
+	w.lastSeen.Store(time.Now().UnixNano())
 	m.nextWID++
 	m.workers[w.id] = w
 	if m.aliveTail == nil {
@@ -298,7 +361,7 @@ func (m *Manager) sweep(now time.Time) {
 	m.mu.Lock()
 	var lost, live []*managedWorker
 	for _, w := range m.workers {
-		if now.Sub(w.lastSeen) > m.hbTimeout {
+		if now.UnixNano()-w.lastSeen.Load() > int64(m.hbTimeout) {
 			lost = append(lost, w)
 			m.stats.HeartbeatTimeouts++
 			m.traceLocked(Event{Type: EventHeartbeatTimeout, TaskID: -1, WorkerID: w.id})
@@ -328,8 +391,8 @@ func (m *Manager) sweep(now time.Time) {
 // ascending task ID so multi-task evictions replay deterministically.
 func (m *Manager) evict(w *managedWorker) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if !w.alive {
+		m.mu.Unlock()
 		return
 	}
 	w.alive = false
@@ -390,6 +453,8 @@ func (m *Manager) evict(w *managedWorker) {
 	w.used = resources.Vector{}
 	m.dispatchLocked()
 	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.flushPending()
 }
 
 // failIfOverLimitLocked enforces the retry budget: once a task has more
@@ -422,10 +487,75 @@ func (m *Manager) failIfOverLimitLocked(st *taskState) bool {
 		st.notify <- st.outcome // buffered; at most one terminal send per task
 		st.notify = nil
 	}
+	if st.ephemeral {
+		// The outcome is delivered; drop the state so the task map stays
+		// bounded by live work. A late stale result for this ID takes the
+		// unknown-task path, exactly as it would for a done-but-retained one.
+		delete(m.tasks, st.task.ID)
+	}
 	return true
 }
 
+// enqueueResult hands a completed-task frame from a worker reader goroutine
+// to the intake drainer: the result is staged under intakeMu (never the
+// manager lock), and whichever goroutine finds the intake idle becomes the
+// drainer for the whole backlog. Hot-path readers therefore stop contending
+// on m.mu for result ingestion — the old design's worst contention point,
+// where every reader serialized against dispatch.
+func (m *Manager) enqueueResult(w *managedWorker, res Message) {
+	if res.Exceeded != nil {
+		// The decoded slice aliases the reader's scratch and dies at the next
+		// frame; results outlive it, so copy (exhaustions are the cold path).
+		res.Exceeded = append([]string(nil), res.Exceeded...)
+	}
+	m.intakeMu.Lock()
+	m.intake = append(m.intake, stagedResult{w: w, res: res})
+	if m.intakeBusy {
+		m.intakeMu.Unlock()
+		return
+	}
+	m.intakeBusy = true
+	m.intakeMu.Unlock()
+	m.drainIntake()
+}
+
+// drainIntake processes staged results in batches until the intake is empty,
+// delivering the dispatches each batch produced with one coalesced flush.
+// Exactly one drainer runs at a time (intakeBusy), so the two staging slices
+// can ping-pong without copying.
+func (m *Manager) drainIntake() {
+	for {
+		m.intakeMu.Lock()
+		if len(m.intake) == 0 {
+			m.intakeBusy = false
+			m.intakeMu.Unlock()
+			return
+		}
+		batch := m.intake
+		m.intake = m.intakeSpare[:0]
+		m.intakeSpare = batch
+		m.intakeMu.Unlock()
+		for i := range batch {
+			m.processResult(batch[i].w, batch[i].res)
+		}
+		m.flushPending()
+	}
+}
+
+// handleResult ingests one result synchronously: process it, then deliver any
+// dispatches it unlocked. The live path goes through enqueueResult instead so
+// concurrent results batch; this entry point keeps single-result semantics
+// for direct callers (tests pinning the stale-result and parity behavior).
 func (m *Manager) handleResult(w *managedWorker, res Message) {
+	m.processResult(w, res)
+	m.flushPending()
+}
+
+// processResult applies one result frame to the engine state: release the
+// worker's capacity, honor the frame only if the worker still owns the task,
+// record the attempt, escalate or complete, and stage follow-on dispatches
+// (delivered later by the caller's flushPending).
+func (m *Manager) processResult(w *managedWorker, res Message) {
 	m.mu.Lock()
 	alloc, wasRunning := w.running[res.TaskID]
 	if wasRunning {
@@ -476,6 +606,11 @@ func (m *Manager) handleResult(w *managedWorker, res Message) {
 		notify := st.notify
 		st.notify = nil
 		outcome := st.outcome
+		if st.ephemeral {
+			// Terminal and delivered below: drop the state so the task map
+			// stays bounded by live work instead of growing per submission.
+			delete(m.tasks, res.TaskID)
+		}
 		m.mu.Unlock()
 		// Observe outside the lock: the policy has its own lock and the
 		// bucketing recomputation can be slow.
@@ -557,19 +692,18 @@ func (m *Manager) dispatchLocked() {
 				ws.Dispatched++
 			}
 			m.traceLocked(Event{Type: EventDispatch, TaskID: id, WorkerID: w.id})
-			msg := Message{
+			// Stage the frame; encoding and I/O happen in flushPending after
+			// the caller releases m.mu, so the lock guards only state
+			// transitions. Every path that can stage (Submit, results,
+			// evictions, registration, RunWorkflow) flushes on the way out.
+			m.pendingSends = append(m.pendingSends, pendingSend{w: w, msg: Message{
 				Type:     MsgTask,
 				TaskID:   st.task.ID,
 				Category: st.task.Category,
 				Alloc:    st.alloc,
 				Peak:     st.task.Consumption,
 				Runtime:  st.task.Runtime(),
-			}
-			go func(w *managedWorker) {
-				if err := w.send(msg); err != nil {
-					w.conn.Close()
-				}
-			}(w)
+			}})
 			placed = true
 			break
 		}
@@ -578,6 +712,68 @@ func (m *Manager) dispatchLocked() {
 		}
 	}
 	m.queue = remaining
+}
+
+// flushPending delivers every frame dispatchLocked has staged since the last
+// flush. Callers must NOT hold m.mu. If a delivery is already in flight the
+// call returns immediately — the active flusher re-checks after writing, so
+// frames staged during its delivery still go out (and batch up with their
+// neighbors).
+func (m *Manager) flushPending() {
+	m.mu.Lock()
+	for {
+		if len(m.pendingSends) == 0 || m.flushBusy {
+			m.mu.Unlock()
+			return
+		}
+		m.flushBusy = true
+		batch := m.pendingSends
+		m.pendingSends = m.sendSpare[:0]
+		m.sendSpare = batch
+		m.mu.Unlock()
+		m.deliver(batch)
+		m.mu.Lock()
+		m.flushBusy = false
+	}
+}
+
+// deliver encodes and writes one staged batch: frames are queued per worker
+// under only that worker's writer lock, then each touched worker is flushed
+// once — so a batch of k frames to one worker costs one syscall-equivalent
+// write, not k. A write failure closes the connection, funneling the worker
+// through the normal eviction path.
+func (m *Manager) deliver(batch []pendingSend) {
+	var touchedArr [8]*managedWorker
+	touched := touchedArr[:0]
+	for i := range batch {
+		s := &batch[i]
+		if s.w.out == nil {
+			continue
+		}
+		if err := s.w.out.queue(&s.msg); err != nil {
+			if s.w.conn != nil {
+				s.w.conn.Close()
+			}
+			continue
+		}
+		seen := false
+		for _, t := range touched {
+			if t == s.w {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			touched = append(touched, s.w)
+		}
+	}
+	m.framesSent.Add(int64(len(batch)))
+	m.flushBatches.Add(int64(len(touched)))
+	for _, w := range touched {
+		if err := w.out.flush(); err != nil && w.conn != nil {
+			w.conn.Close()
+		}
+	}
 }
 
 func fits(w *managedWorker, alloc resources.Vector) bool {
@@ -626,7 +822,8 @@ func (m *Manager) registerTaskLocked(t workflow.Task, notify chan metrics.TaskOu
 		Peak:       t.Consumption,
 		Runtime:    t.Runtime(),
 		SubmitTime: m.sinceStart(),
-	}, notify: notify}
+	}, notify: notify, ephemeral: notify != nil}
+	st.outcome.Attempts = st.attemptsBuf[:0]
 	m.tasks[id] = st
 	m.queue = append(m.queue, id)
 	m.notePeakQueueLocked()
@@ -688,6 +885,9 @@ func (m *Manager) RunWorkflow(ctx context.Context, w *workflow.Workflow) (*sim.R
 			ids[from+i] = st.task.ID
 		}
 		m.dispatchLocked()
+		m.mu.Unlock()
+		m.flushPending()
+		m.mu.Lock()
 		for !m.tasksDoneLocked(ids[:until]) && ctx.Err() == nil && !m.closed {
 			m.cond.Wait()
 		}
@@ -756,6 +956,7 @@ func (m *Manager) Submit(t workflow.Task) <-chan metrics.TaskOutcome {
 	m.registerTaskLocked(t, ch, true)
 	m.dispatchLocked()
 	m.mu.Unlock()
+	m.flushPending()
 	return ch
 }
 
@@ -775,6 +976,8 @@ func (m *Manager) Stats() Stats {
 	s.ConnectedWorkers = len(m.workers)
 	s.QueueDepth = len(m.queue)
 	s.InFlight = m.inFlightLocked()
+	s.FlushBatches = m.flushBatches.Load()
+	s.FramesSent = m.framesSent.Load()
 	ids := make([]int, 0, len(m.perWorker))
 	for id := range m.perWorker {
 		ids = append(ids, id)

@@ -1,7 +1,6 @@
 package wq
 
 import (
-	"encoding/json"
 	"io"
 	"testing"
 
@@ -30,7 +29,7 @@ func (p *countingPolicy) Name() string                                   { retur
 // stageWorker registers a fake connected worker whose frames go nowhere, so
 // a test can drive dispatch/evict/handleResult interleavings by hand.
 func stageWorker(m *Manager, capacity resources.Vector) *managedWorker {
-	return m.addWorkerLocked(nil, json.NewEncoder(io.Discard), capacity)
+	return m.addWorkerLocked(nil, io.Discard, capacity)
 }
 
 // TestStaleResultFromEvictedWorkerDropped is the regression for the

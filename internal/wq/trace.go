@@ -42,6 +42,10 @@ const (
 	// EventTaskFailed: a task exceeded its retry budget and was abandoned
 	// permanently.
 	EventTaskFailed EventType = "task-failed"
+	// EventDecodeError: a worker connection sent a malformed frame (Detail
+	// carries the decode error) and was dropped. WorkerID is -1 when the
+	// garbage arrived before a successful registration.
+	EventDecodeError EventType = "decode-error"
 	// EventDrainStart / EventDrainEnd bracket Close()'s graceful drain.
 	EventDrainStart EventType = "drain-start"
 	EventDrainEnd   EventType = "drain-end"
@@ -157,5 +161,14 @@ type Stats struct {
 	ConnectedWorkers  int
 	QueueDepth        int
 	InFlight          int
-	Workers           []WorkerStats // sorted by worker ID
+	// DecodeErrors counts malformed frames received from worker connections
+	// (each drops its connection), the live engine's analogue of the
+	// allocator service's Server.DecodeErrors.
+	DecodeErrors int
+	// FramesSent counts task frames delivered to workers; FlushBatches counts
+	// the coalesced writer flushes that carried them. FramesSent/FlushBatches
+	// is the realized dispatch coalescing factor.
+	FramesSent   int64
+	FlushBatches int64
+	Workers      []WorkerStats // sorted by worker ID
 }

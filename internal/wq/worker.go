@@ -1,14 +1,15 @@
 package wq
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
+	"dynalloc/internal/jsonwire"
 	"dynalloc/internal/resources"
 	"dynalloc/internal/sim"
 )
@@ -40,52 +41,77 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 // cancelled. Tasks run concurrently; the manager is responsible for not
 // over-committing the advertised capacity (as in Work Queue).
 func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
-	cfg = cfg.withDefaults()
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return fmt.Errorf("wq: worker dial: %w", err)
 	}
+	return runWorkerConn(ctx, conn, cfg)
+}
+
+// workerConn is one worker-side connection: its reused frame writer and the
+// pool of executor goroutines running its tasks. Executors are spawned on
+// demand (when a task arrives and none is idle) and reused for the life of
+// the connection, so steady-state task spawning costs a channel handoff
+// rather than a goroutine launch.
+type workerConn struct {
+	ctx    context.Context
+	cfg    WorkerConfig
+	conn   net.Conn
+	out    *frameWriter
+	taskCh chan Message
+	wg     sync.WaitGroup
+}
+
+// runWorkerConn speaks the worker side of the protocol over an established
+// connection. It takes ownership of conn and closes it on return.
+func runWorkerConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	enc := json.NewEncoder(conn)
-	var sendMu sync.Mutex
-	send := func(m Message) error {
-		sendMu.Lock()
-		defer sendMu.Unlock()
-		return enc.Encode(m)
+	wc := &workerConn{
+		ctx: ctx, cfg: cfg.withDefaults(), conn: conn,
+		out: newFrameWriter(conn), taskCh: make(chan Message),
 	}
-	if err := send(Message{Type: MsgRegister, Capacity: cfg.Capacity}); err != nil {
+	if err := wc.out.send(&Message{Type: MsgRegister, Capacity: wc.cfg.Capacity}); err != nil {
 		return fmt.Errorf("wq: worker register: %w", err)
 	}
 
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		var m Message
-		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
-			return fmt.Errorf("wq: worker decoding frame: %w", err)
+	// On return: stop the executors, then wait for in-flight tasks to report
+	// (the connection stays open until the outermost defer).
+	defer wc.wg.Wait()
+	defer close(wc.taskCh)
+	mr := newMsgReader(conn)
+	var m Message
+	for {
+		if err := mr.next(&m); err != nil {
+			if ctx.Err() != nil || err == io.EOF {
+				// Cancelled, or the manager hung up cleanly.
+				return nil
+			}
+			var derr *jsonwire.DecodeError
+			if errors.As(err, &derr) {
+				return fmt.Errorf("wq: worker decoding frame: %w", err)
+			}
+			return fmt.Errorf("wq: worker connection: %w", err)
 		}
 		switch m.Type {
 		case MsgTask:
-			task := m
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				res := executeTask(ctx, cfg, task)
-				if err := send(res); err != nil && ctx.Err() == nil {
-					// The connection is gone; the manager will requeue.
-					conn.Close()
-				}
-			}()
+			// Hand the task to an idle executor; grow the pool only when all
+			// are busy. The channel is unbuffered so a task is never parked
+			// behind a long-running one while another executor sits idle.
+			select {
+			case wc.taskCh <- m:
+			default:
+				wc.wg.Add(1)
+				go wc.executor()
+				wc.taskCh <- m
+			}
 		case MsgPing:
 			// Liveness probe: answer immediately so the manager's sweeper
 			// keeps counting this worker as alive even while long tasks run.
-			if err := send(Message{Type: MsgPong}); err != nil && ctx.Err() == nil {
+			if err := wc.out.send(&Message{Type: MsgPong}); err != nil && ctx.Err() == nil {
 				return fmt.Errorf("wq: worker pong: %w", err)
 			}
 		case MsgShutdown:
@@ -94,13 +120,18 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 			return fmt.Errorf("wq: worker received unexpected frame %q", m.Type)
 		}
 	}
-	if ctx.Err() != nil {
-		return nil
+}
+
+// executor runs task attempts from the connection's channel until it closes.
+func (wc *workerConn) executor() {
+	defer wc.wg.Done()
+	for task := range wc.taskCh {
+		res := executeTask(wc.ctx, wc.cfg, task)
+		if err := wc.out.send(&res); err != nil && wc.ctx.Err() == nil {
+			// The connection is gone; the manager will requeue.
+			wc.conn.Close()
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("wq: worker connection: %w", err)
-	}
-	return nil
 }
 
 // executeTask virtually executes one task attempt: the resource monitor
